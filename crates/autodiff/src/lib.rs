@@ -1,0 +1,561 @@
+//! Reverse-mode automatic differentiation over dense matrices.
+//!
+//! The paper's original pipeline computed backward-pass FLOPs by tracing
+//! TensorFlow's `GradientTape`; this crate is the equivalent substrate: a
+//! define-by-run tape ([`Graph`]) recording matrix operations, with a single
+//! [`Graph::backward`] sweep producing exact gradients for every recorded
+//! variable.
+//!
+//! Inside the workspace it serves two roles:
+//!
+//! 1. **Gradient oracle** — `hqnn-nn` implements layer-wise backprop by hand
+//!    for speed; its tests rebuild the same computations on this tape and
+//!    require the gradients to agree to machine precision.
+//! 2. **Standalone engine** — small models can be trained directly against
+//!    the tape (see the `train_linear_regression` test).
+//!
+//! # Example
+//!
+//! ```
+//! use hqnn_autodiff::Graph;
+//! use hqnn_tensor::Matrix;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Matrix::from_rows(&[&[2.0]]));
+//! let y = g.mul(x, x);      // y = x²
+//! let loss = g.sum(y);
+//! g.backward(loss);
+//! assert_eq!(g.grad(x)[(0, 0)], 4.0); // dy/dx = 2x = 4
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hqnn_tensor::Matrix;
+
+/// Handle to a value recorded on a [`Graph`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// The operation that produced a node, with whatever the backward pass needs.
+#[derive(Clone, Debug)]
+enum OpKind {
+    /// Leaf value supplied by the caller.
+    Input,
+    /// `a · b` matrix product.
+    MatMul(Var, Var),
+    /// `a + b` elementwise.
+    Add(Var, Var),
+    /// `a - b` elementwise.
+    Sub(Var, Var),
+    /// `a ⊙ b` elementwise product.
+    Mul(Var, Var),
+    /// `a * s` by a constant scalar.
+    Scale(Var, f64),
+    /// Broadcast row-vector `bias` onto every row of `a`.
+    AddBias(Var, Var),
+    /// `max(0, a)` elementwise.
+    Relu(Var),
+    /// `tanh(a)` elementwise.
+    Tanh(Var),
+    /// `1 / (1 + e^{-a})` elementwise.
+    Sigmoid(Var),
+    /// Sum of all entries (scalar output).
+    Sum(Var),
+    /// Mean of all entries (scalar output).
+    Mean(Var),
+    /// Mean softmax cross-entropy of logits against one-hot `targets`;
+    /// caches the softmax for the backward pass.
+    SoftmaxCrossEntropy {
+        logits: Var,
+        targets: Matrix,
+        softmax: Matrix,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    value: Matrix,
+    grad: Matrix,
+    op: OpKind,
+}
+
+/// A define-by-run tape of matrix operations.
+///
+/// Values are recorded as they are computed; [`Graph::backward`] then walks
+/// the tape in reverse, accumulating `d(output)/d(node)` into every node.
+/// Gradients of leaves created with [`Graph::input`] are read back with
+/// [`Graph::grad`].
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn record(&mut self, value: Matrix, op: OpKind) -> Var {
+        let (r, c) = value.shape();
+        self.nodes.push(Node {
+            value,
+            grad: Matrix::zeros(r, c),
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a leaf value (a parameter or a data batch).
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.record(value, OpKind::Input)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of the last [`Graph::backward`] output with
+    /// respect to `v` (zeros before any backward pass).
+    pub fn grad(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].grad
+    }
+
+    /// Records `a · b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.record(value, OpKind::MatMul(a, b))
+    }
+
+    /// Records `a + b` (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        self.record(value, OpKind::Add(a, b))
+    }
+
+    /// Records `a - b` (same shapes).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        self.record(value, OpKind::Sub(a, b))
+    }
+
+    /// Records the elementwise product `a ⊙ b` (same shapes).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.record(value, OpKind::Mul(a, b))
+    }
+
+    /// Records `a * s` for a constant scalar `s`.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let value = self.nodes[a.0].value.scale(s);
+        self.record(value, OpKind::Scale(a, s))
+    }
+
+    /// Records a broadcast bias addition: `bias` must be `1 × cols(a)`.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let value = self.nodes[a.0].value.add_row_broadcast(&self.nodes[bias.0].value);
+        self.record(value, OpKind::AddBias(a, bias))
+    }
+
+    /// Records `relu(a)`.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|v| v.max(0.0));
+        self.record(value, OpKind::Relu(a))
+    }
+
+    /// Records `tanh(a)`.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f64::tanh);
+        self.record(value, OpKind::Tanh(a))
+    }
+
+    /// Records the logistic sigmoid of `a`.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.record(value, OpKind::Sigmoid(a))
+    }
+
+    /// Records the scalar sum of all entries of `a` (a `1 × 1` node).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
+        self.record(value, OpKind::Sum(a))
+    }
+
+    /// Records the scalar mean of all entries of `a` (a `1 × 1` node).
+    pub fn mean(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.mean()]);
+        self.record(value, OpKind::Mean(a))
+    }
+
+    /// Records the batch-mean softmax cross-entropy of `logits` against
+    /// one-hot `targets` (same shape as the logits). Output is `1 × 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &Matrix) -> Var {
+        let z = &self.nodes[logits.0].value;
+        assert_eq!(z.shape(), targets.shape(), "targets must match logits shape");
+        let batch = z.rows();
+        let mut softmax = Matrix::zeros(z.rows(), z.cols());
+        let mut loss = 0.0;
+        for r in 0..batch {
+            let row = z.row(r);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = row.iter().map(|v| (v - max).exp()).collect();
+            let denom: f64 = exps.iter().sum();
+            for (c, e) in exps.iter().enumerate() {
+                let p = e / denom;
+                softmax[(r, c)] = p;
+                if targets[(r, c)] != 0.0 {
+                    loss -= targets[(r, c)] * p.max(1e-300).ln();
+                }
+            }
+        }
+        let value = Matrix::from_vec(1, 1, vec![loss / batch as f64]);
+        self.record(
+            value,
+            OpKind::SoftmaxCrossEntropy {
+                logits,
+                targets: targets.clone(),
+                softmax,
+            },
+        )
+    }
+
+    /// Runs the reverse sweep from `output`, accumulating gradients into
+    /// every node that contributed to it. `output` must be a `1 × 1` scalar.
+    /// Gradients from previous sweeps are cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not scalar.
+    pub fn backward(&mut self, output: Var) {
+        assert_eq!(
+            self.nodes[output.0].value.shape(),
+            (1, 1),
+            "backward() needs a scalar output"
+        );
+        for node in &mut self.nodes {
+            node.grad.map_inplace(|_| 0.0);
+        }
+        self.nodes[output.0].grad[(0, 0)] = 1.0;
+
+        for i in (0..=output.0).rev() {
+            let grad = self.nodes[i].grad.clone();
+            if grad.as_slice().iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            match self.nodes[i].op.clone() {
+                OpKind::Input => {}
+                OpKind::MatMul(a, b) => {
+                    // dA = G · Bᵀ ; dB = Aᵀ · G
+                    let da = grad.matmul(&self.nodes[b.0].value.transpose());
+                    let db = self.nodes[a.0].value.transpose().matmul(&grad);
+                    self.nodes[a.0].grad += &da;
+                    self.nodes[b.0].grad += &db;
+                }
+                OpKind::Add(a, b) => {
+                    self.nodes[a.0].grad += &grad;
+                    self.nodes[b.0].grad += &grad;
+                }
+                OpKind::Sub(a, b) => {
+                    self.nodes[a.0].grad += &grad;
+                    self.nodes[b.0].grad.add_scaled(&grad, -1.0);
+                }
+                OpKind::Mul(a, b) => {
+                    let da = grad.hadamard(&self.nodes[b.0].value);
+                    let db = grad.hadamard(&self.nodes[a.0].value);
+                    self.nodes[a.0].grad += &da;
+                    self.nodes[b.0].grad += &db;
+                }
+                OpKind::Scale(a, s) => {
+                    self.nodes[a.0].grad.add_scaled(&grad, s);
+                }
+                OpKind::AddBias(a, bias) => {
+                    self.nodes[a.0].grad += &grad;
+                    let db = grad.sum_rows();
+                    self.nodes[bias.0].grad += &db;
+                }
+                OpKind::Relu(a) => {
+                    let mask = self.nodes[a.0].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    let da = grad.hadamard(&mask);
+                    self.nodes[a.0].grad += &da;
+                }
+                OpKind::Tanh(a) => {
+                    // d tanh = 1 - tanh²; the node's value *is* tanh(a).
+                    let dt = self.nodes[i].value.map(|t| 1.0 - t * t);
+                    let da = grad.hadamard(&dt);
+                    self.nodes[a.0].grad += &da;
+                }
+                OpKind::Sigmoid(a) => {
+                    let ds = self.nodes[i].value.map(|s| s * (1.0 - s));
+                    let da = grad.hadamard(&ds);
+                    self.nodes[a.0].grad += &da;
+                }
+                OpKind::Sum(a) => {
+                    let g = grad[(0, 0)];
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    self.nodes[a.0].grad.add_scaled(&Matrix::filled(r, c, 1.0), g);
+                }
+                OpKind::Mean(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let g = grad[(0, 0)] / (r * c) as f64;
+                    self.nodes[a.0].grad.add_scaled(&Matrix::filled(r, c, 1.0), g);
+                }
+                OpKind::SoftmaxCrossEntropy {
+                    logits,
+                    targets,
+                    softmax,
+                } => {
+                    let g = grad[(0, 0)] / softmax.rows() as f64;
+                    let dz = (&softmax - &targets).scale(g);
+                    self.nodes[logits.0].grad += &dz;
+                }
+            }
+        }
+    }
+}
+
+/// Numerically checks `d(scalar output)/d(leaf)` against the tape gradient.
+///
+/// `build` must reconstruct the *same* computation from scratch given the
+/// leaf value (it is invoked repeatedly with perturbed copies). Returns the
+/// maximum absolute deviation between tape and central-difference gradients.
+pub fn gradient_check(
+    leaf_value: &Matrix,
+    eps: f64,
+    build: impl Fn(&mut Graph, Var) -> Var,
+) -> f64 {
+    let mut g = Graph::new();
+    let leaf = g.input(leaf_value.clone());
+    let out = build(&mut g, leaf);
+    g.backward(out);
+    let analytic = g.grad(leaf).clone();
+
+    let mut worst: f64 = 0.0;
+    for idx in 0..leaf_value.len() {
+        let run = |delta: f64| {
+            let mut perturbed = leaf_value.clone();
+            perturbed.as_mut_slice()[idx] += delta;
+            let mut g = Graph::new();
+            let leaf = g.input(perturbed);
+            let out = build(&mut g, leaf);
+            g.value(out)[(0, 0)]
+        };
+        let fd = (run(eps) - run(-eps)) / (2.0 * eps);
+        worst = worst.max((analytic.as_slice()[idx] - fd).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqnn_tensor::SeededRng;
+
+    #[test]
+    fn square_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[3.0]]));
+        let y = g.mul(x, x);
+        let s = g.sum(y);
+        g.backward(s);
+        assert_eq!(g.grad(x)[(0, 0)], 6.0);
+    }
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.input(Matrix::from_rows(&[&[5.0], &[6.0]]));
+        let c = g.matmul(a, b);
+        let s = g.sum(c);
+        g.backward(s);
+        // dS/dA = 1·Bᵀ broadcast over rows.
+        assert_eq!(g.grad(a), &Matrix::from_rows(&[&[5.0, 6.0], &[5.0, 6.0]]));
+        // dS/dB = Aᵀ·1 = column sums of A.
+        assert_eq!(g.grad(b), &Matrix::from_rows(&[&[4.0], &[6.0]]));
+    }
+
+    #[test]
+    fn chained_ops_accumulate() {
+        // f(x) = sum(x² + 2x); df/dx = 2x + 2.
+        let mut g = Graph::new();
+        let x = g.input(Matrix::row_vector(&[1.0, -2.0, 0.5]));
+        let sq = g.mul(x, x);
+        let lin = g.scale(x, 2.0);
+        let tot = g.add(sq, lin);
+        let s = g.sum(tot);
+        g.backward(s);
+        assert_eq!(g.grad(x), &Matrix::row_vector(&[4.0, -2.0, 3.0]));
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::row_vector(&[-1.0, 2.0]));
+        let r = g.relu(x);
+        let s = g.sum(r);
+        g.backward(s);
+        assert_eq!(g.grad(x), &Matrix::row_vector(&[0.0, 1.0]));
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_gradcheck() {
+        let mut rng = SeededRng::new(5);
+        let x = Matrix::uniform(2, 3, -2.0, 2.0, &mut rng);
+        let worst_tanh = gradient_check(&x, 1e-6, |g, v| {
+            let t = g.tanh(v);
+            g.sum(t)
+        });
+        assert!(worst_tanh < 1e-7, "tanh gradcheck off by {worst_tanh}");
+        let worst_sig = gradient_check(&x, 1e-6, |g, v| {
+            let s = g.sigmoid(v);
+            g.mean(s)
+        });
+        assert!(worst_sig < 1e-7, "sigmoid gradcheck off by {worst_sig}");
+    }
+
+    #[test]
+    fn add_bias_gradcheck() {
+        let mut rng = SeededRng::new(9);
+        let bias = Matrix::uniform(1, 4, -1.0, 1.0, &mut rng);
+        let data = Matrix::uniform(3, 4, -1.0, 1.0, &mut rng);
+        let worst = gradient_check(&bias, 1e-6, |g, b| {
+            let x = g.input(data.clone());
+            let y = g.add_bias(x, b);
+            let t = g.tanh(y);
+            g.sum(t)
+        });
+        assert!(worst < 1e-7, "bias gradcheck off by {worst}");
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradient_is_softmax_minus_target() {
+        let mut g = Graph::new();
+        let logits = g.input(Matrix::from_rows(&[&[2.0, 1.0, 0.0]]));
+        let targets = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        let loss = g.softmax_cross_entropy(logits, &targets);
+        g.backward(loss);
+        let z = [2.0f64, 1.0, 0.0];
+        let denom: f64 = z.iter().map(|v| v.exp()).sum();
+        for (c, zc) in z.iter().enumerate() {
+            let p = zc.exp() / denom;
+            let expected = p - if c == 0 { 1.0 } else { 0.0 };
+            assert!((g.grad(logits)[(0, c)] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradcheck() {
+        let mut rng = SeededRng::new(13);
+        let logits = Matrix::uniform(4, 3, -3.0, 3.0, &mut rng);
+        let mut targets = Matrix::zeros(4, 3);
+        for r in 0..4 {
+            targets[(r, r % 3)] = 1.0;
+        }
+        let worst = gradient_check(&logits, 1e-6, |g, v| g.softmax_cross_entropy(v, &targets));
+        assert!(worst < 1e-7, "softmax-ce gradcheck off by {worst}");
+    }
+
+    #[test]
+    fn mlp_end_to_end_gradcheck() {
+        // Two-layer MLP: tanh(x·W1 + b1)·W2 + b2 → softmax CE.
+        let mut rng = SeededRng::new(21);
+        let x = Matrix::uniform(5, 4, -1.0, 1.0, &mut rng);
+        let w1 = Matrix::glorot_uniform(4, 6, &mut rng);
+        let b1 = Matrix::zeros(1, 6);
+        let w2 = Matrix::glorot_uniform(6, 3, &mut rng);
+        let b2 = Matrix::zeros(1, 3);
+        let mut targets = Matrix::zeros(5, 3);
+        for r in 0..5 {
+            targets[(r, (r * 2) % 3)] = 1.0;
+        }
+        let worst = gradient_check(&w1, 1e-6, |g, w1v| {
+            let xv = g.input(x.clone());
+            let b1v = g.input(b1.clone());
+            let w2v = g.input(w2.clone());
+            let b2v = g.input(b2.clone());
+            let h = g.matmul(xv, w1v);
+            let h = g.add_bias(h, b1v);
+            let h = g.tanh(h);
+            let z = g.matmul(h, w2v);
+            let z = g.add_bias(z, b2v);
+            g.softmax_cross_entropy(z, &targets)
+        });
+        assert!(worst < 1e-6, "mlp gradcheck off by {worst}");
+    }
+
+    #[test]
+    fn train_linear_regression() {
+        // Fit y = 2x - 1 by gradient descent directly on the tape.
+        let mut rng = SeededRng::new(33);
+        let xs = Matrix::uniform(32, 1, -1.0, 1.0, &mut rng);
+        let ys = xs.map(|x| 2.0 * x - 1.0);
+        let mut w = Matrix::from_rows(&[&[0.0]]);
+        let mut b = Matrix::from_rows(&[&[0.0]]);
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let wv = g.input(w.clone());
+            let bv = g.input(b.clone());
+            let xv = g.input(xs.clone());
+            let yv = g.input(ys.clone());
+            let pred = g.matmul(xv, wv);
+            let pred = g.add_bias(pred, bv);
+            let err = g.sub(pred, yv);
+            let sq = g.mul(err, err);
+            let loss = g.mean(sq);
+            g.backward(loss);
+            w.add_scaled(g.grad(wv), -0.5);
+            b.add_scaled(g.grad(bv), -0.5);
+        }
+        assert!((w[(0, 0)] - 2.0).abs() < 1e-3, "w = {}", w[(0, 0)]);
+        assert!((b[(0, 0)] + 1.0).abs() < 1e-3, "b = {}", b[(0, 0)]);
+    }
+
+    #[test]
+    fn backward_clears_previous_gradients() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0]]));
+        let y = g.scale(x, 3.0);
+        let s = g.sum(y);
+        g.backward(s);
+        g.backward(s);
+        assert_eq!(g.grad(x)[(0, 0)], 3.0); // not 6.0
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar output")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::row_vector(&[1.0, 2.0]));
+        g.backward(x);
+    }
+
+    #[test]
+    fn disconnected_nodes_get_zero_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0]]));
+        let unused = g.input(Matrix::from_rows(&[&[5.0]]));
+        let s = g.sum(x);
+        g.backward(s);
+        assert_eq!(g.grad(unused)[(0, 0)], 0.0);
+    }
+}

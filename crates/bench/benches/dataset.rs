@@ -1,0 +1,55 @@
+//! Dataset-generation benchmarks: spiral synthesis across the paper's
+//! complexity range, plus the standardisation pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqnn_data::{Dataset, SpiralConfig, Standardizer};
+use hqnn_tensor::SeededRng;
+use std::hint::black_box;
+
+fn bench_spiral_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spiral_generation");
+    group.sample_size(20);
+    for features in [10usize, 60, 110] {
+        group.bench_with_input(BenchmarkId::from_parameter(features), &features, |b, &f| {
+            b.iter(|| {
+                let mut rng = SeededRng::new(7);
+                black_box(Dataset::spiral(&SpiralConfig::paper(f), &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_standardizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("standardizer");
+    group.sample_size(20);
+    for features in [10usize, 110] {
+        let mut rng = SeededRng::new(7);
+        let ds = Dataset::spiral(&SpiralConfig::paper(features), &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("fit_transform", features),
+            &features,
+            |b, _| {
+                b.iter(|| black_box(Standardizer::fit_transform(ds.features())));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stratified_split");
+    group.sample_size(20);
+    let mut rng = SeededRng::new(7);
+    let ds = Dataset::spiral(&SpiralConfig::paper(40), &mut rng);
+    group.bench_function("1500x40", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(1);
+            black_box(ds.split(0.8, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spiral_generation, bench_standardizer, bench_split);
+criterion_main!(benches);

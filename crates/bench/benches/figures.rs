@@ -1,0 +1,77 @@
+//! Per-figure benchmarks: one criterion entry for every table/figure of the
+//! paper, measuring the work that regenerates it.
+//!
+//! Figures 6–10 are grid searches whose full runs take minutes to hours, so
+//! each figure's bench measures a miniature (smoke-profile) slice of its
+//! search — the same code path, scaled down. Table I and Fig. 4 are cheap
+//! enough to bench at full fidelity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hqnn_data::{Dataset, SpiralConfig};
+use hqnn_flops::CostModel;
+use hqnn_search::experiments::{table_one_paper_combos, ExperimentConfig, Family, StudyResult};
+use hqnn_tensor::SeededRng;
+use std::hint::black_box;
+
+fn smoke_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::smoke();
+    // Keep the bench's unit of work well under a second.
+    config.search.train = config.search.train.with_epochs(5);
+    config.search.dataset_samples = 210;
+    config.search.max_combos_per_repetition = 2;
+    config.levels = vec![6];
+    config
+}
+
+fn bench_fig4_dataset(c: &mut Criterion) {
+    c.benchmark_group("figures")
+        .sample_size(20)
+        .bench_function("fig4_spiral_generation", |b| {
+            b.iter(|| {
+                let mut rng = SeededRng::new(4);
+                black_box(Dataset::spiral(&SpiralConfig::paper(10), &mut rng))
+            });
+        });
+}
+
+fn bench_search_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for (name, family) in [
+        ("fig6_classical_search_slice", Family::Classical),
+        ("fig7_bel_search_slice", Family::HybridBel),
+        ("fig8_sel_search_slice", Family::HybridSel),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut study = StudyResult::new(smoke_config());
+                study.run_family(family, &mut |_, _, _| {});
+                black_box(study)
+            });
+        });
+    }
+    // Fig. 9/10 post-process the same searches; their extra work is the
+    // aggregation over winners.
+    group.bench_function("fig9_fig10_aggregation", |b| {
+        let mut study = StudyResult::new(smoke_config());
+        study.run_classical();
+        study.run_sel();
+        b.iter(|| {
+            black_box(hqnn_search::report::parameter_table(&study));
+            black_box(hqnn_search::report::comparative_table(&study));
+        });
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.benchmark_group("figures")
+        .sample_size(50)
+        .bench_function("table1_pricing", |b| {
+            let cost = CostModel::default();
+            b.iter(|| black_box(table_one_paper_combos(black_box(&cost))));
+        });
+}
+
+criterion_group!(benches, bench_fig4_dataset, bench_search_figures, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation bench: adjoint vs parameter-shift differentiation cost.
+//!
+//! DESIGN.md calls out the choice of adjoint differentiation for hybrid
+//! training; this bench measures the gap the analytic FLOPs model predicts
+//! (`CostModel::circuit_backward_parameter_shift` vs
+//! `circuit_backward_adjoint`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqnn_qsim::{adjoint, parameter_shift, EntanglerKind, Observable, QnnTemplate};
+use std::hint::black_box;
+
+fn bench_gradient_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_methods");
+    group.sample_size(15);
+    for (qubits, depth) in [(3usize, 2usize), (4, 4), (5, 6)] {
+        let template = QnnTemplate::new(qubits, depth, EntanglerKind::Strong);
+        let circuit = template.build();
+        let inputs: Vec<f64> = (0..qubits).map(|i| 0.3 * i as f64 - 0.5).collect();
+        let params: Vec<f64> = (0..template.param_count())
+            .map(|i| 0.1 * i as f64)
+            .collect();
+        let obs: Vec<Observable> = (0..qubits).map(Observable::z).collect();
+
+        group.bench_function(BenchmarkId::new("adjoint", template.label()), |b| {
+            b.iter(|| black_box(adjoint(&circuit, &inputs, &params, &obs)));
+        });
+        group.bench_function(BenchmarkId::new("parameter_shift", template.label()), |b| {
+            b.iter(|| black_box(parameter_shift(&circuit, &inputs, &params, &obs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradient_methods);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Layer-level benchmarks: classical dense vs simulated quantum layer,
+//! forward and backward, at the paper's batch size (8) — the wall-clock
+//! counterpart of the FLOPs comparison in Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqnn_core::QuantumLayer;
+use hqnn_nn::{Dense, Layer};
+use hqnn_qsim::{EntanglerKind, QnnTemplate};
+use hqnn_tensor::{Matrix, SeededRng};
+use std::hint::black_box;
+
+const BATCH: usize = 8;
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_layer");
+    group.sample_size(30);
+    let mut rng = SeededRng::new(1);
+    for (in_dim, out_dim) in [(10usize, 3usize), (110, 3), (110, 10)] {
+        let mut layer = Dense::new(in_dim, out_dim, &mut rng);
+        let x = Matrix::uniform(BATCH, in_dim, -1.0, 1.0, &mut rng);
+        let g = Matrix::uniform(BATCH, out_dim, -1.0, 1.0, &mut rng);
+        let label = format!("{in_dim}x{out_dim}");
+        group.bench_function(BenchmarkId::new("forward", &label), |b| {
+            b.iter(|| black_box(layer.forward(black_box(&x), true)));
+        });
+        let _ = layer.forward(&x, true);
+        group.bench_function(BenchmarkId::new("backward", &label), |b| {
+            b.iter(|| black_box(layer.backward(black_box(&g))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantum_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantum_layer");
+    group.sample_size(15);
+    let mut rng = SeededRng::new(2);
+    for (qubits, depth, kind) in [
+        (3usize, 2usize, EntanglerKind::Basic),
+        (3, 2, EntanglerKind::Strong),
+        (4, 4, EntanglerKind::Basic),
+        (5, 10, EntanglerKind::Strong),
+    ] {
+        let template = QnnTemplate::new(qubits, depth, kind);
+        let mut layer = QuantumLayer::new(template, &mut rng);
+        let x = Matrix::uniform(BATCH, qubits, -1.0, 1.0, &mut rng);
+        let g = Matrix::uniform(BATCH, qubits, -1.0, 1.0, &mut rng);
+        group.bench_function(BenchmarkId::new("forward", template.label()), |b| {
+            b.iter(|| black_box(layer.forward(black_box(&x), true)));
+        });
+        let _ = layer.forward(&x, true);
+        group.bench_function(BenchmarkId::new("backward", template.label()), |b| {
+            b.iter(|| black_box(layer.backward(black_box(&g))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense, bench_quantum_layer);
+criterion_main!(benches);

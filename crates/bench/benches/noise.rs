@@ -1,0 +1,67 @@
+//! Noise-simulation benchmarks: density-matrix evolution vs pure
+//! statevector, and the cost of Kraus channels — the price of dropping the
+//! paper's ideal-circuit assumption.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqnn_qsim::{DensityMatrix, EntanglerKind, NoiseModel, QnnTemplate};
+use std::hint::black_box;
+
+fn bench_pure_vs_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pure_vs_mixed");
+    group.sample_size(15);
+    for qubits in [2usize, 3, 4] {
+        let template = QnnTemplate::new(qubits, 2, EntanglerKind::Strong);
+        let circuit = template.build();
+        let inputs: Vec<f64> = (0..qubits).map(|i| 0.2 * i as f64).collect();
+        let params: Vec<f64> = (0..template.param_count()).map(|i| 0.1 * i as f64).collect();
+
+        group.bench_function(BenchmarkId::new("statevector", qubits), |b| {
+            b.iter(|| black_box(circuit.run(black_box(&inputs), black_box(&params))));
+        });
+        let noiseless = NoiseModel::noiseless();
+        group.bench_function(BenchmarkId::new("density_matrix", qubits), |b| {
+            b.iter(|| {
+                black_box(DensityMatrix::run_noisy(
+                    &circuit,
+                    black_box(&inputs),
+                    black_box(&params),
+                    &noiseless,
+                ))
+            });
+        });
+        let depolarizing = NoiseModel::depolarizing(0.05);
+        group.bench_function(BenchmarkId::new("density_matrix_noisy", qubits), |b| {
+            b.iter(|| {
+                black_box(DensityMatrix::run_noisy(
+                    &circuit,
+                    black_box(&inputs),
+                    black_box(&params),
+                    &depolarizing,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_gradients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_gradients");
+    group.sample_size(10);
+    let template = QnnTemplate::new(3, 2, EntanglerKind::Basic);
+    let circuit = template.build();
+    let inputs = [0.3, -0.2, 0.8];
+    let params: Vec<f64> = (0..template.param_count()).map(|i| 0.1 * i as f64).collect();
+    let obs: Vec<_> = (0..3).map(hqnn_qsim::Observable::z).collect();
+    let noise = NoiseModel::depolarizing(0.05);
+    group.bench_function("parameter_shift_noisy_BEL(3,2)", |b| {
+        b.iter(|| {
+            black_box(hqnn_qsim::gradient::parameter_shift_noisy(
+                &circuit, &inputs, &params, &obs, &noise,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pure_vs_mixed, bench_noisy_gradients);
+criterion_main!(benches);

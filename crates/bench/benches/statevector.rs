@@ -1,0 +1,86 @@
+//! Statevector kernel benchmarks: gate application and full-circuit
+//! execution as qubit count grows — the "exponential scaling of quantum
+//! states" the paper cites as the cost of classical simulation (§I-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqnn_qsim::{Circuit, EntanglerKind, GateKind, Observable, ParamSource, QnnTemplate, StateVector};
+use std::hint::black_box;
+
+fn bench_single_qubit_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_qubit_gate");
+    group.sample_size(20);
+    for n_qubits in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_qubits), &n_qubits, |b, &n| {
+            let mut state = StateVector::new(n);
+            let m = GateKind::RY.matrix(0.37);
+            b.iter(|| {
+                state.apply_single(black_box(&m), n / 2);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnot");
+    group.sample_size(20);
+    for n_qubits in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_qubits), &n_qubits, |b, &n| {
+            let mut state = StateVector::new(n);
+            let x = GateKind::X.matrix(0.0);
+            b.iter(|| {
+                state.apply_controlled(black_box(&x), 0, n - 1);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_template_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("template_execution");
+    group.sample_size(20);
+    for (qubits, depth) in [(3usize, 2usize), (4, 4), (5, 10)] {
+        for kind in [EntanglerKind::Basic, EntanglerKind::Strong] {
+            let template = QnnTemplate::new(qubits, depth, kind);
+            let circuit = template.build();
+            let inputs: Vec<f64> = (0..qubits).map(|i| 0.1 * i as f64).collect();
+            let params: Vec<f64> = (0..template.param_count()).map(|i| 0.05 * i as f64).collect();
+            let obs: Vec<Observable> = (0..qubits).map(Observable::z).collect();
+            group.bench_function(BenchmarkId::from_parameter(template.label()), |b| {
+                b.iter(|| {
+                    black_box(circuit.expectations(
+                        black_box(&inputs),
+                        black_box(&params),
+                        &obs,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_expectation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expectation_z");
+    group.sample_size(20);
+    for n_qubits in [4usize, 10, 16] {
+        let mut circuit = Circuit::new(n_qubits);
+        for w in 0..n_qubits {
+            circuit.ry(w, ParamSource::Fixed(0.3 + w as f64));
+        }
+        let state = circuit.run(&[], &[]);
+        group.bench_with_input(BenchmarkId::from_parameter(n_qubits), &n_qubits, |b, &n| {
+            b.iter(|| black_box(state.expectation_z(n / 2)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_qubit_gate,
+    bench_cnot,
+    bench_template_execution,
+    bench_expectation
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Training-loop benchmarks: one epoch of classical vs hybrid training on a
+//! small spiral instance — the unit of work the grid search repeats
+//! thousands of times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqnn_core::{ClassicalSpec, HybridSpec, ModelSpec};
+use hqnn_data::{Dataset, SpiralConfig, Standardizer};
+use hqnn_nn::{train, Adam, TrainConfig};
+use hqnn_qsim::{EntanglerKind, QnnTemplate};
+use hqnn_tensor::SeededRng;
+use std::hint::black_box;
+
+fn bench_one_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_epoch");
+    group.sample_size(10);
+
+    let n_features = 10;
+    let mut rng = SeededRng::new(3);
+    let dataset = Dataset::spiral(
+        &SpiralConfig::fast(n_features).with_samples(300),
+        &mut rng,
+    );
+    let (train_set, val_set) = dataset.split(0.8, &mut rng);
+    let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
+    let x_val = standardizer.transform(val_set.features());
+
+    let specs: Vec<(&str, ModelSpec)> = vec![
+        ("classical_C[8,6]", ClassicalSpec::new(n_features, vec![8, 6], 3).into()),
+        (
+            "hybrid_BEL(3,2)",
+            HybridSpec::new(n_features, 3, QnnTemplate::new(3, 2, EntanglerKind::Basic)).into(),
+        ),
+        (
+            "hybrid_SEL(3,2)",
+            HybridSpec::new(n_features, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong)).into(),
+        ),
+    ];
+
+    for (name, spec) in specs {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut rng = SeededRng::new(11);
+                let mut model = spec.build(&mut rng);
+                let mut opt = Adam::new(0.005);
+                let config = TrainConfig::fast().with_epochs(1);
+                black_box(train(
+                    &mut model,
+                    &mut opt,
+                    &x_train,
+                    train_set.labels(),
+                    &x_val,
+                    val_set.labels(),
+                    3,
+                    &config,
+                    &mut rng,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_epoch);
+criterion_main!(benches);

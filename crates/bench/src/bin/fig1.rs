@@ -1,0 +1,65 @@
+//! Fig. 1: the three architecture families the paper illustrates —
+//! (a) a purely classical NN, (b) an HQNN whose only hidden layer is
+//! quantum, (c) an HQNN mixing classical and quantum hidden layers —
+//! instantiated as real models with their complexity metrics.
+//!
+//! ```sh
+//! cargo run -p hqnn-bench --release --bin fig1
+//! ```
+
+use hqnn_core::prelude::*;
+
+fn main() {
+    let n_features = 10;
+    let cost = CostModel::default();
+    let mut rng = SeededRng::new(1);
+
+    // (a) Classical NN (Fig. 1a).
+    let classical = ClassicalSpec::new(n_features, vec![8, 6], 3);
+    let model_a = classical.build(&mut rng);
+    println!("Fig. 1(a) — classical NN");
+    println!("  {}", model_a.describe());
+    println!(
+        "  {} params | {} FLOPs/sample\n",
+        classical.param_count(),
+        classical.flops(&cost).total()
+    );
+
+    // (b) HQNN with only a quantum hidden layer (Fig. 1b).
+    let hybrid = HybridSpec::new(n_features, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong));
+    let model_b = hybrid.build(&mut rng);
+    println!("Fig. 1(b) — HQNN, quantum hidden layer only");
+    println!("  {}", model_b.describe());
+    let f = hybrid.flops(&cost);
+    println!(
+        "  {} params | {} FLOPs/sample (CL {} + Enc {} + QL {})\n",
+        hybrid.param_count(),
+        f.total(),
+        f.classical,
+        f.encoding,
+        f.quantum
+    );
+
+    // (c) HQNN with classical *and* quantum hidden layers (Fig. 1c) —
+    // assembled directly from layers; the grid search only varies (b).
+    let mut model_c = Sequential::new();
+    model_c.push(Dense::new(n_features, 8, &mut rng));
+    model_c.push(Activation::relu());
+    model_c.push(Dense::new(8, 3, &mut rng));
+    model_c.push(QuantumLayer::new(
+        QnnTemplate::new(3, 2, EntanglerKind::Strong),
+        &mut rng,
+    ));
+    model_c.push(Dense::new(3, 3, &mut rng));
+    println!("Fig. 1(c) — HQNN, classical + quantum hidden layers");
+    println!("  {}", model_c.describe());
+    println!("  {} params\n", model_c.param_count());
+
+    // All three are trainable through the same loop; show one forward pass.
+    let x = Matrix::zeros(2, n_features);
+    for (label, model) in [("(a)", model_a), ("(b)", model_b), ("(c)", model_c)] {
+        let mut model = model;
+        let out = model.forward(&x, false);
+        println!("{label} forward pass: input (2, {n_features}) → logits {:?}", out.shape());
+    }
+}

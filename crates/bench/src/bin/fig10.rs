@@ -1,0 +1,35 @@
+//! Fig. 10: comparative rates of increase in FLOPs (panel a) and parameter
+//! counts (panel b) for classical vs hybrid models as problem complexity
+//! grows — the paper's headline result.
+//!
+//! ```sh
+//! cargo run -p hqnn-bench --release --bin fig10            # fast profile
+//! cargo run -p hqnn-bench --release --bin fig10 -- --paper # full protocol
+//! ```
+
+use hqnn_bench::{ensure_family, Cli};
+use hqnn_search::experiments::Family;
+use hqnn_search::report;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut study = cli.load_study();
+    let mut ran = false;
+    for family in [Family::Classical, Family::HybridBel, Family::HybridSel] {
+        ran |= ensure_family(&mut study, family);
+    }
+    if ran {
+        cli.save_study(&study);
+    }
+    let csv_path = cli.study_path().with_extension("csv");
+    if let Err(e) = std::fs::write(&csv_path, report::winners_csv(&study)) {
+        eprintln!("warning: could not write {csv_path:?}: {e}");
+    } else {
+        eprintln!("(winners exported to {csv_path:?})");
+    }
+    println!("{}", report::comparative_table(&study));
+    println!(
+        "\nshape to reproduce: hybrid (especially SEL) rates of increase sit below the\n\
+         classical rate on both metrics, with hybrid parameter counts below classical."
+    );
+}

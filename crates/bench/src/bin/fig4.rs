@@ -1,0 +1,55 @@
+//! Fig. 4: the spiral dataset — an ASCII rendering of the first two
+//! features (panel a) and the complexity/noise schedule (panel b).
+//!
+//! ```sh
+//! cargo run -p hqnn-bench --release --bin fig4
+//! ```
+
+use hqnn_data::{complexity_levels, noise_level, Dataset, SpiralConfig};
+use hqnn_tensor::SeededRng;
+
+const WIDTH: usize = 64;
+const HEIGHT: usize = 28;
+
+fn main() {
+    let mut rng = SeededRng::new(4);
+    let dataset = Dataset::spiral(&SpiralConfig::paper(10), &mut rng);
+
+    println!("Fig. 4(a): first two features of the generated spiral (3 classes × 500 points)");
+    println!();
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    let marks = ['o', '+', 'x'];
+    for (row, &label) in dataset
+        .features()
+        .iter_rows()
+        .zip(dataset.labels())
+    {
+        let (x, y) = (row[0], row[1]);
+        let cx = (((x + 1.3) / 2.6) * (WIDTH as f64 - 1.0)).round();
+        let cy = (((1.3 - y) / 2.6) * (HEIGHT as f64 - 1.0)).round();
+        if (0.0..WIDTH as f64).contains(&cx) && (0.0..HEIGHT as f64).contains(&cy) {
+            grid[cy as usize][cx as usize] = marks[label];
+        }
+    }
+    for line in &grid {
+        println!("  {}", line.iter().collect::<String>());
+    }
+    println!("  (o/+/x = classes 0/1/2)");
+    println!();
+
+    println!("Fig. 4(b): the problem-complexity schedule");
+    println!();
+    println!("{:>10} {:>12} {:>16}", "features", "noise σ", "derived dims");
+    for features in complexity_levels() {
+        println!(
+            "{features:>10} {:>12.3} {:>16}",
+            noise_level(features),
+            features - 2
+        );
+    }
+    println!();
+    println!(
+        "per-class counts at 10 features: {:?} (balanced by construction)",
+        dataset.class_counts()
+    );
+}

@@ -1,0 +1,28 @@
+//! Fig. 5: the two quantum-layer designs — SEL and BEL circuit diagrams
+//! (3 qubits, depth 2, as in the paper's figure), rendered as ASCII.
+//!
+//! ```sh
+//! cargo run -p hqnn-bench --release --bin fig5
+//! ```
+
+use hqnn_qsim::render::render_ascii;
+use hqnn_qsim::{EntanglerKind, QnnTemplate};
+
+fn main() {
+    for (panel, kind) in [("(a) Strongly Entangling Layer (SEL)", EntanglerKind::Strong),
+                          ("(b) Basic Entangler Layer (BEL)", EntanglerKind::Basic)] {
+        let template = QnnTemplate::new(3, 2, kind);
+        println!("Fig. 5{panel} — {}, {} trainable parameters", template.label(), template.param_count());
+        println!();
+        println!("{}", render_ascii(&template.build()));
+        println!(
+            "  x0..x2 = angle-encoded inputs; θi = trainable rotations; ● = CNOT control\n"
+        );
+    }
+    println!(
+        "SEL applies a full Rot(φ,θ,ω) = RZ·RY·RZ per qubit per layer (3 parameters)\n\
+         with layer-dependent CNOT ranges; BEL applies a single RX per qubit with a\n\
+         nearest-neighbour CNOT ring — the expressiveness gap behind the paper's\n\
+         central result (quantified by the `expressibility` example)."
+    );
+}

@@ -1,0 +1,23 @@
+//! Fig. 6: FLOPs of the best-performing **classical** models per problem
+//! complexity level, found by the paper's FLOPs-sorted grid search.
+//!
+//! ```sh
+//! cargo run -p hqnn-bench --release --bin fig6            # fast profile
+//! cargo run -p hqnn-bench --release --bin fig6 -- --paper # full protocol
+//! ```
+
+use hqnn_bench::{ensure_family, Cli};
+use hqnn_search::experiments::Family;
+use hqnn_search::report;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut study = cli.load_study();
+    if ensure_family(&mut study, Family::Classical) {
+        cli.save_study(&study);
+    }
+    println!("{}", report::scaling_table("classical", &study.classical));
+    println!(
+        "paper reference: classical FLOPs rise ≈ +88.5% (absolute +3285) from 10 to 110 features."
+    );
+}

@@ -1,0 +1,71 @@
+//! One-shot reproduction driver: runs every search the paper's evaluation
+//! needs (Figs. 6–10), prices Table I, and writes a consolidated markdown
+//! report plus the winners CSV next to the study cache.
+//!
+//! ```sh
+//! cargo run -p hqnn-bench --release --bin repro             # fast profile
+//! cargo run -p hqnn-bench --release --bin repro -- --paper  # full protocol
+//! ```
+
+use std::fmt::Write as _;
+
+use hqnn_bench::{ensure_family, Cli};
+use hqnn_search::experiments::{table_one_from_study, table_one_paper_combos, Family};
+use hqnn_search::report;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut study = cli.load_study();
+    let mut ran = false;
+    for family in [Family::Classical, Family::HybridBel, Family::HybridSel] {
+        ran |= ensure_family(&mut study, family);
+    }
+    if ran {
+        cli.save_study(&study);
+    }
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# hqnn reproduction report\n");
+    let _ = writeln!(
+        md,
+        "protocol: threshold {:.0}%, {} runs × {} repetitions, levels {:?}, {} samples\n",
+        100.0 * study.config.search.accuracy_threshold,
+        study.config.search.runs_per_combo,
+        study.config.search.repetitions,
+        study.config.levels,
+        study.config.search.dataset_samples,
+    );
+    let _ = writeln!(md, "## Fig. 6 — classical\n\n```\n{}```\n", report::scaling_table("classical", &study.classical));
+    let _ = writeln!(md, "## Fig. 7 — hybrid (BEL)\n\n```\n{}```\n", report::scaling_table("hybrid (BEL)", &study.hybrid_bel));
+    let _ = writeln!(md, "## Fig. 8 — hybrid (SEL)\n\n```\n{}```\n", report::scaling_table("hybrid (SEL)", &study.hybrid_sel));
+    let _ = writeln!(md, "## Fig. 9 — parameters\n\n```\n{}```\n", report::parameter_table(&study));
+    let _ = writeln!(md, "## Fig. 10 — comparative rates\n\n```\n{}```\n", report::comparative_table(&study));
+    let _ = writeln!(
+        md,
+        "## Table I — paper combos\n\n```\n{}```\n",
+        report::table_one(&table_one_paper_combos(&study.config.cost))
+    );
+    let from_study = table_one_from_study(&study);
+    if !from_study.is_empty() {
+        let _ = writeln!(
+            md,
+            "## Table I — this run's winners\n\n```\n{}```\n",
+            report::table_one(&from_study)
+        );
+    }
+
+    print!("{md}");
+
+    let report_path = cli.study_path().with_extension("md");
+    let csv_path = cli.study_path().with_extension("csv");
+    if let Err(e) = std::fs::write(&report_path, &md) {
+        eprintln!("warning: could not write {report_path:?}: {e}");
+    } else {
+        eprintln!("(report written to {report_path:?})");
+    }
+    if let Err(e) = std::fs::write(&csv_path, report::winners_csv(&study)) {
+        eprintln!("warning: could not write {csv_path:?}: {e}");
+    } else {
+        eprintln!("(winners exported to {csv_path:?})");
+    }
+}

@@ -1,0 +1,225 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--paper` — the paper's full protocol (all 11 levels, 5 runs × 5
+//!   repetitions; hours on one core);
+//! * `--fast` — the default: 3 levels, 2 runs × 2 repetitions (minutes);
+//! * `--smoke` — a seconds-scale miniature (CI / demos);
+//! * `--cache <dir>` — where the study JSON is stored (default
+//!   `experiment-results/`);
+//! * `--fresh` — ignore any cached study and re-run.
+//!
+//! Search results are cached per profile in a single JSON file, so running
+//! `fig6` then `fig9` reuses the classical search instead of repeating it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use hqnn_search::experiments::Family;
+use hqnn_search::{ExperimentConfig, StudyResult};
+
+/// Which protocol profile a binary runs with.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// The paper's full protocol.
+    Paper,
+    /// Reduced protocol (default).
+    Fast,
+    /// Fast statistical power (2 runs × 2 repetitions) but all 11 of the
+    /// paper's complexity levels — the full Fig. 6–10 x-axis in a fraction
+    /// of the paper protocol's time.
+    FullLevels,
+    /// Miniature protocol for CI.
+    Smoke,
+}
+
+impl Profile {
+    /// The experiment configuration for this profile.
+    pub fn experiment_config(self) -> ExperimentConfig {
+        match self {
+            Profile::Paper => ExperimentConfig::paper(),
+            Profile::Fast => ExperimentConfig::fast(),
+            Profile::FullLevels => {
+                let mut config = ExperimentConfig::fast();
+                config.levels = hqnn_data::complexity_levels();
+                config
+            }
+            Profile::Smoke => ExperimentConfig::smoke(),
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Profile::Paper => "paper",
+            Profile::Fast => "fast",
+            Profile::FullLevels => "full-levels",
+            Profile::Smoke => "smoke",
+        }
+    }
+}
+
+/// Parsed command-line options shared by every binary.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Selected protocol profile.
+    pub profile: Profile,
+    /// Directory holding cached study JSON.
+    pub cache_dir: PathBuf,
+    /// Ignore caches and re-run searches.
+    pub fresh: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, exiting with usage text on `--help` or an
+    /// unknown flag.
+    pub fn parse() -> Self {
+        let mut cli = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper" => cli.profile = Profile::Paper,
+                "--fast" => cli.profile = Profile::Fast,
+                "--full-levels" => cli.profile = Profile::FullLevels,
+                "--smoke" => cli.profile = Profile::Smoke,
+                "--fresh" => cli.fresh = true,
+                "--cache" => {
+                    let Some(dir) = args.next() else {
+                        eprintln!("--cache requires a directory argument");
+                        exit(2);
+                    };
+                    cli.cache_dir = PathBuf::from(dir);
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: <figure-binary> [--paper|--fast|--full-levels|--smoke] [--cache DIR] [--fresh]\n\
+                         \n\
+                         --paper        full protocol from the paper (hours)\n\
+                         --fast         reduced protocol, same shape (default, minutes)\n\
+                         --full-levels  fast protocol over all 11 complexity levels\n\
+                         --smoke        miniature protocol (seconds)\n\
+                         --cache        study cache directory (default experiment-results/)\n\
+                         --fresh        ignore cached results and re-run"
+                    );
+                    exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// The cache path for this profile's study JSON.
+    pub fn study_path(&self) -> PathBuf {
+        self.cache_dir.join(format!("study-{}.json", self.profile.tag()))
+    }
+
+    /// Loads the cached study if compatible, otherwise starts a fresh one.
+    pub fn load_study(&self) -> StudyResult {
+        let config = self.profile.experiment_config();
+        if !self.fresh {
+            if let Ok(study) = StudyResult::load(self.study_path()) {
+                if study.config == config {
+                    eprintln!("(reusing cached results from {:?})", self.study_path());
+                    return study;
+                }
+                eprintln!("(cache config changed; re-running searches)");
+            }
+        }
+        StudyResult::new(config)
+    }
+
+    /// Saves the study back to the cache, warning on failure rather than
+    /// aborting (the printed tables are the primary output).
+    pub fn save_study(&self, study: &StudyResult) {
+        if let Err(e) = study.save(self.study_path()) {
+            eprintln!("warning: could not cache results: {e}");
+        }
+    }
+}
+
+impl Default for Cli {
+    /// The defaults `parse()` starts from: fast profile, cache in
+    /// `experiment-results/`, caches honoured.
+    fn default() -> Self {
+        Self {
+            profile: Profile::Fast,
+            cache_dir: PathBuf::from("experiment-results"),
+            fresh: false,
+        }
+    }
+}
+
+/// Ensures `family`'s search results are present in the study, running the
+/// search (with progress logging to stderr) when they are missing.
+/// Returns `true` when a search actually ran.
+pub fn ensure_family(study: &mut StudyResult, family: Family) -> bool {
+    if !study.family(family).is_empty() {
+        return false;
+    }
+    eprintln!(
+        "running {} search over levels {:?} (threshold {:.0}%, {} runs × {} repetitions)…",
+        family.name(),
+        study.config.levels,
+        100.0 * study.config.search.accuracy_threshold,
+        study.config.search.runs_per_combo,
+        study.config.search.repetitions,
+    );
+    study.run_family(family, &mut |features, rep, combo| {
+        eprintln!(
+            "  [F={features} rep {rep}] {:<18} train {:>5.1}% val {:>5.1}% {}",
+            combo.spec.label(),
+            100.0 * combo.avg_train_accuracy,
+            100.0 * combo.avg_val_accuracy,
+            if combo.passed { "← winner" } else { "" }
+        );
+    });
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_map_to_configs() {
+        assert_eq!(Profile::Paper.experiment_config(), ExperimentConfig::paper());
+        assert_eq!(Profile::Fast.experiment_config(), ExperimentConfig::fast());
+        assert_eq!(Profile::Smoke.experiment_config(), ExperimentConfig::smoke());
+    }
+
+    #[test]
+    fn study_path_encodes_profile() {
+        let mut cli = Cli::default();
+        assert!(cli.study_path().ends_with("study-fast.json"));
+        cli.profile = Profile::Paper;
+        assert!(cli.study_path().ends_with("study-paper.json"));
+        cli.profile = Profile::Smoke;
+        cli.cache_dir = PathBuf::from("/tmp/x");
+        assert_eq!(cli.study_path(), PathBuf::from("/tmp/x/study-smoke.json"));
+    }
+
+    #[test]
+    fn load_study_falls_back_to_fresh_on_missing_cache() {
+        let cli = Cli {
+            cache_dir: PathBuf::from("/nonexistent-hqnn-cache"),
+            ..Cli::default()
+        };
+        let study = cli.load_study();
+        assert!(study.classical.is_empty());
+        assert_eq!(study.config, ExperimentConfig::fast());
+    }
+
+    #[test]
+    fn ensure_family_skips_already_run_families() {
+        let mut study = StudyResult::new(ExperimentConfig::smoke());
+        study.run_classical();
+        assert!(!ensure_family(&mut study, Family::Classical));
+    }
+}

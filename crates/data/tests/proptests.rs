@@ -1,0 +1,96 @@
+//! Property-based tests of the dataset generator over random configurations.
+
+use hqnn_data::{noise_level, Dataset, SpiralConfig, Standardizer};
+use hqnn_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn config() -> impl Strategy<Value = SpiralConfig> {
+    (2usize..=30, 30usize..=300, 2usize..=4).prop_map(|(features, samples, classes)| {
+        let mut c = SpiralConfig::paper(features).with_samples(samples);
+        c.n_classes = classes;
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spiral_shapes_and_balance(cfg in config(), seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let ds = Dataset::spiral(&cfg, &mut rng);
+        // Count rounds down to a multiple of n_classes.
+        let per_class = cfg.n_samples / cfg.n_classes;
+        prop_assert_eq!(ds.len(), per_class * cfg.n_classes);
+        prop_assert_eq!(ds.n_features(), cfg.n_features);
+        prop_assert!(ds.class_counts().iter().all(|&c| c == per_class));
+        prop_assert!(ds.features().all_finite());
+    }
+
+    #[test]
+    fn spiral_is_seed_deterministic(cfg in config(), seed in 0u64..1000) {
+        let a = Dataset::spiral(&cfg, &mut SeededRng::new(seed));
+        let b = Dataset::spiral(&cfg, &mut SeededRng::new(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_schedule_is_affine(f in 0usize..1000) {
+        prop_assert!((noise_level(f) - (0.1 + 0.003 * f as f64)).abs() < 1e-12);
+        prop_assert!(noise_level(f + 1) > noise_level(f));
+    }
+
+    #[test]
+    fn split_partitions_every_class(cfg in config(), frac in 0.5f64..0.9, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let ds = Dataset::spiral(&cfg, &mut rng);
+        let (train, val) = ds.split(frac, &mut rng);
+        prop_assert_eq!(train.len() + val.len(), ds.len());
+        // Stratification: per-class totals preserved.
+        let total: Vec<usize> = train
+            .class_counts()
+            .iter()
+            .zip(val.class_counts())
+            .map(|(a, b)| a + b)
+            .collect();
+        prop_assert_eq!(total, ds.class_counts());
+        // Train fraction approximately respected per class.
+        for (i, &count) in train.class_counts().iter().enumerate() {
+            let expected = ds.class_counts()[i] as f64 * frac;
+            prop_assert!((count as f64 - expected).abs() <= 1.0, "class {i}");
+        }
+    }
+
+    #[test]
+    fn standardizer_output_has_unit_moments(cfg in config(), seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let ds = Dataset::spiral(&cfg, &mut rng);
+        let (_s, z) = Standardizer::fit_transform(ds.features());
+        prop_assert!(z.all_finite());
+        for c in 0..z.cols() {
+            let col = z.col(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-8, "col {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn standardizer_is_idempotent_on_standardised_data(cfg in config(), seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let ds = Dataset::spiral(&cfg, &mut rng);
+        let (_s1, z1) = Standardizer::fit_transform(ds.features());
+        let (_s2, z2) = Standardizer::fit_transform(&z1);
+        prop_assert!(z1.approx_eq(&z2, 1e-8));
+    }
+
+    #[test]
+    fn shuffle_preserves_content(cfg in config(), seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let mut ds = Dataset::spiral(&cfg, &mut rng);
+        let sum_before = ds.features().sum();
+        let counts_before = ds.class_counts();
+        ds.shuffle(&mut rng);
+        prop_assert!((ds.features().sum() - sum_before).abs() < 1e-6);
+        prop_assert_eq!(ds.class_counts(), counts_before);
+    }
+}

@@ -1,0 +1,46 @@
+//! Minimal deep-learning stack: layers, losses, optimizers, training loop.
+//!
+//! This crate replaces the Keras layer of the paper's pipeline. It provides
+//! exactly what the study needs — densely connected classifiers trained with
+//! Adam on softmax cross-entropy — through an extensible [`Layer`] trait that
+//! `hqnn-core` also implements for its quantum layer, so classical and hybrid
+//! models train through the *same* loop (a prerequisite for a fair FLOPs
+//! comparison).
+//!
+//! Backpropagation is implemented layer-by-layer by hand for speed; the
+//! test-suite verifies every layer's gradients against the independent
+//! `hqnn-autodiff` tape and against finite differences.
+//!
+//! # Example
+//!
+//! ```
+//! use hqnn_nn::{Activation, Dense, Sequential};
+//! use hqnn_tensor::{Matrix, SeededRng};
+//!
+//! let mut rng = SeededRng::new(0);
+//! let mut model = Sequential::new();
+//! model.push(Dense::new(4, 8, &mut rng));
+//! model.push(Activation::relu());
+//! model.push(Dense::new(8, 3, &mut rng));
+//! assert_eq!(model.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+//! let x = Matrix::zeros(2, 4);
+//! let logits = model.forward(&x, false);
+//! assert_eq!(logits.shape(), (2, 3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optimizer;
+pub mod train;
+
+pub use layer::{Activation, ActivationKind, Dense, Layer};
+pub use loss::{accuracy, one_hot, softmax, SoftmaxCrossEntropy};
+pub use metrics::ConfusionMatrix;
+pub use model::Sequential;
+pub use optimizer::{Adam, Optimizer, Sgd};
+pub use train::{train, EpochMetrics, TrainConfig, TrainReport};

@@ -1,0 +1,272 @@
+//! Classifier evaluation beyond plain accuracy: confusion matrices and
+//! per-class precision / recall / F1.
+//!
+//! The paper's protocol thresholds on accuracy alone (§III); these
+//! utilities let the same trained models be inspected more closely — e.g.
+//! whether a spiral model trades one arm off against another.
+
+use std::fmt;
+
+use hqnn_tensor::Matrix;
+
+/// A `k × k` confusion matrix: `entry(actual, predicted)` counts.
+///
+/// # Example
+///
+/// ```
+/// use hqnn_nn::ConfusionMatrix;
+///
+/// let cm = ConfusionMatrix::from_labels(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+/// assert_eq!(cm.entry(0, 0), 1); // one class-0 sample predicted 0
+/// assert_eq!(cm.entry(0, 1), 1); // one class-0 sample predicted 1
+/// assert_eq!(cm.accuracy(), 0.75);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel actual/predicted label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or any label is
+    /// `>= n_classes`.
+    pub fn from_labels(actual: &[usize], predicted: &[usize], n_classes: usize) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label slice length mismatch");
+        let mut counts = vec![0u64; n_classes * n_classes];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            assert!(a < n_classes && p < n_classes, "label out of range");
+            counts[a * n_classes + p] += 1;
+        }
+        Self { n_classes, counts }
+    }
+
+    /// Builds the matrix from logits (row-argmax) and actual labels.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ConfusionMatrix::from_labels`], with
+    /// `logits.rows() == actual.len()`.
+    pub fn from_logits(logits: &Matrix, actual: &[usize], n_classes: usize) -> Self {
+        assert_eq!(logits.rows(), actual.len(), "batch size mismatch");
+        Self::from_labels(actual, &logits.argmax_rows(), n_classes)
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count of samples with the given actual and predicted labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn entry(&self, actual: usize, predicted: usize) -> u64 {
+        assert!(
+            actual < self.n_classes && predicted < self.n_classes,
+            "index out of range"
+        );
+        self.counts[actual * self.n_classes + predicted]
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace / total); `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n_classes).map(|k| self.entry(k, k)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of one class: `TP / (TP + FP)`; `0.0` when the class was
+    /// never predicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= n_classes`.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.entry(class, class);
+        let predicted: u64 = (0..self.n_classes).map(|a| self.entry(a, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of one class: `TP / (TP + FN)`; `0.0` when the class never
+    /// occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= n_classes`.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.entry(class, class);
+        let actual: u64 = (0..self.n_classes).map(|p| self.entry(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score of one class (harmonic mean of precision and recall);
+    /// `0.0` when both are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= n_classes`.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over all classes ("macro" averaging).
+    pub fn macro_f1(&self) -> f64 {
+        if self.n_classes == 0 {
+            return 0.0;
+        }
+        (0..self.n_classes).map(|k| self.f1(k)).sum::<f64>() / self.n_classes as f64
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix (rows = actual, cols = predicted):")?;
+        write!(f, "{:>8}", "")?;
+        for p in 0..self.n_classes {
+            write!(f, "{p:>8}")?;
+        }
+        writeln!(f)?;
+        for a in 0..self.n_classes {
+            write!(f, "{a:>8}")?;
+            for p in 0..self.n_classes {
+                write!(f, "{:>8}", self.entry(a, p))?;
+            }
+            writeln!(f)?;
+        }
+        write!(
+            f,
+            "accuracy {:.3}, macro-F1 {:.3}",
+            self.accuracy(),
+            self.macro_f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // actual:    0 0 0 1 1 2 2 2 2
+        // predicted: 0 0 1 1 1 2 2 0 2
+        ConfusionMatrix::from_labels(
+            &[0, 0, 0, 1, 1, 2, 2, 2, 2],
+            &[0, 0, 1, 1, 1, 2, 2, 0, 2],
+            3,
+        )
+    }
+
+    #[test]
+    fn entries_count_pairs() {
+        let cm = sample();
+        assert_eq!(cm.entry(0, 0), 2);
+        assert_eq!(cm.entry(0, 1), 1);
+        assert_eq!(cm.entry(2, 0), 1);
+        assert_eq!(cm.entry(2, 2), 3);
+        assert_eq!(cm.total(), 9);
+    }
+
+    #[test]
+    fn accuracy_is_trace_over_total() {
+        let cm = sample();
+        assert!((cm.accuracy() - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1_formulas() {
+        let cm = sample();
+        // Class 0: TP = 2, predicted 0 three times, actual 0 three times.
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1(0) - 2.0 / 3.0).abs() < 1e-12);
+        // Class 1: TP = 2, predicted three times, actual twice.
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 1.0).abs() < 1e-12);
+        let f1 = 2.0 * (2.0 / 3.0) / (2.0 / 3.0 + 1.0);
+        assert!((cm.f1(1) - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_averages_classes() {
+        let cm = sample();
+        let expected = (cm.f1(0) + cm.f1(1) + cm.f1(2)) / 3.0;
+        assert!((cm.macro_f1() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_predicted_class_has_zero_precision() {
+        let cm = ConfusionMatrix::from_labels(&[0, 1], &[0, 0], 2);
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.f1(1), 0.0);
+    }
+
+    #[test]
+    fn from_logits_uses_argmax() {
+        let logits = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.7, 0.3]]);
+        let cm = ConfusionMatrix::from_logits(&logits, &[0, 1, 1], 2);
+        assert_eq!(cm.entry(0, 0), 1);
+        assert_eq!(cm.entry(1, 1), 1);
+        assert_eq!(cm.entry(1, 0), 1);
+        // Matches the plain accuracy metric.
+        assert!((cm.accuracy() - crate::loss::accuracy(&logits, &[0, 1, 1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one_everywhere() {
+        let cm = ConfusionMatrix::from_labels(&[0, 1, 2, 0], &[0, 1, 2, 0], 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        for k in 0..3 {
+            assert_eq!(cm.precision(k), 1.0);
+            assert_eq!(cm.recall(k), 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_zeroed() {
+        let cm = ConfusionMatrix::from_labels(&[], &[], 3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let _ = ConfusionMatrix::from_labels(&[3], &[0], 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = sample().to_string();
+        assert!(text.contains("confusion matrix"));
+        assert!(text.contains("accuracy"));
+    }
+}

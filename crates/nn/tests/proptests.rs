@@ -1,0 +1,178 @@
+//! Property-based tests: the hand-written layer backprop must agree with
+//! the independent autodiff tape on random shapes and data, and the losses
+//! and optimizers must satisfy their analytic invariants.
+
+use hqnn_autodiff::Graph;
+use hqnn_nn::{
+    accuracy, one_hot, softmax, Activation, ActivationKind, Adam, Dense, Layer, Optimizer,
+    Sequential, SoftmaxCrossEntropy,
+};
+use hqnn_tensor::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    // (batch, in_dim, hidden, classes)
+    (1usize..=6, 1usize..=8, 1usize..=8, 2usize..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_gradients_match_autodiff((batch, in_dim, out_dim, _c) in dims(), seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let w = Matrix::glorot_uniform(in_dim, out_dim, &mut rng);
+        let b = Matrix::uniform(1, out_dim, -0.5, 0.5, &mut rng);
+        let x = Matrix::uniform(batch, in_dim, -2.0, 2.0, &mut rng);
+
+        let mut layer = Dense::from_parts(w.clone(), b.clone());
+        let out = layer.forward(&x, true);
+        let upstream = Matrix::uniform(batch, out_dim, -1.0, 1.0, &mut rng);
+        let dx = layer.backward(&upstream);
+        let mut grads = Vec::new();
+        layer.visit_params(&mut |_v, g| grads.push(g.clone()));
+
+        // Tape path: L = sum(upstream ⊙ (xW + b)).
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let wv = g.input(w);
+        let bv = g.input(b);
+        let uv = g.input(upstream);
+        let z = g.matmul(xv, wv);
+        let z = g.add_bias(z, bv);
+        let weighted = g.mul(z, uv);
+        let loss = g.sum(weighted);
+        g.backward(loss);
+
+        prop_assert!(grads[0].approx_eq(g.grad(wv), 1e-9), "dW mismatch");
+        prop_assert!(grads[1].approx_eq(g.grad(bv), 1e-9), "db mismatch");
+        prop_assert!(dx.approx_eq(g.grad(xv), 1e-9), "dX mismatch");
+        prop_assert_eq!(out.shape(), (batch, out_dim));
+    }
+
+    #[test]
+    fn activation_gradients_match_autodiff(
+        (batch, dim, _h, _c) in dims(),
+        kind_idx in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let kind = [ActivationKind::Relu, ActivationKind::Tanh, ActivationKind::Sigmoid][kind_idx];
+        let mut rng = SeededRng::new(seed);
+        // Keep values away from relu's kink where the subgradient is ambiguous.
+        let x = Matrix::uniform(batch, dim, -2.0, 2.0, &mut rng)
+            .map(|v| if v.abs() < 1e-3 { 0.5 } else { v });
+        let upstream = Matrix::uniform(batch, dim, -1.0, 1.0, &mut rng);
+
+        let mut layer = Activation::new(kind);
+        let _ = layer.forward(&x, true);
+        let dx = layer.backward(&upstream);
+
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let uv = g.input(upstream);
+        let y = match kind {
+            ActivationKind::Relu => g.relu(xv),
+            ActivationKind::Tanh => g.tanh(xv),
+            ActivationKind::Sigmoid => g.sigmoid(xv),
+        };
+        let weighted = g.mul(y, uv);
+        let loss = g.sum(weighted);
+        g.backward(loss);
+        prop_assert!(dx.approx_eq(g.grad(xv), 1e-9), "{kind:?} gradient mismatch");
+    }
+
+    #[test]
+    fn full_mlp_gradients_match_autodiff((batch, in_dim, hidden, classes) in dims(), seed in 0u64..200) {
+        let mut rng = SeededRng::new(seed);
+        let w1 = Matrix::glorot_uniform(in_dim, hidden, &mut rng);
+        let b1 = Matrix::uniform(1, hidden, -0.2, 0.2, &mut rng);
+        let w2 = Matrix::glorot_uniform(hidden, classes, &mut rng);
+        let b2 = Matrix::uniform(1, classes, -0.2, 0.2, &mut rng);
+        let x = Matrix::uniform(batch, in_dim, -1.5, 1.5, &mut rng);
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let targets = one_hot(&labels, classes);
+
+        let mut model = Sequential::new();
+        model.push(Dense::from_parts(w1.clone(), b1.clone()));
+        model.push(Activation::tanh());
+        model.push(Dense::from_parts(w2.clone(), b2.clone()));
+        let logits = model.forward(&x, true);
+        let (loss, dlogits) = SoftmaxCrossEntropy::new().loss_and_grad(&logits, &targets);
+        let dx = model.backward(&dlogits);
+        let mut grads = Vec::new();
+        model.visit_params(&mut |_v, g| grads.push(g.clone()));
+
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let w1v = g.input(w1);
+        let b1v = g.input(b1);
+        let w2v = g.input(w2);
+        let b2v = g.input(b2);
+        let h = g.matmul(xv, w1v);
+        let h = g.add_bias(h, b1v);
+        let h = g.tanh(h);
+        let z = g.matmul(h, w2v);
+        let z = g.add_bias(z, b2v);
+        let l = g.softmax_cross_entropy(z, &targets);
+        g.backward(l);
+
+        prop_assert!((loss - g.value(l)[(0, 0)]).abs() < 1e-10);
+        prop_assert!(grads[0].approx_eq(g.grad(w1v), 1e-8));
+        prop_assert!(grads[1].approx_eq(g.grad(b1v), 1e-8));
+        prop_assert!(grads[2].approx_eq(g.grad(w2v), 1e-8));
+        prop_assert!(grads[3].approx_eq(g.grad(b2v), 1e-8));
+        prop_assert!(dx.approx_eq(g.grad(xv), 1e-8));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(batch in 1usize..6, classes in 1usize..6, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let logits = Matrix::uniform(batch, classes, -20.0, 20.0, &mut rng);
+        let p = softmax(&logits);
+        for r in 0..batch {
+            let row_sum: f64 = p.row(r).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_loss_is_nonnegative(batch in 1usize..6, classes in 2usize..5, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let logits = Matrix::uniform(batch, classes, -5.0, 5.0, &mut rng);
+        let labels: Vec<usize> = (0..batch).map(|_| rng.index(classes)).collect();
+        let (loss, grad) = SoftmaxCrossEntropy::new()
+            .loss_and_grad(&logits, &one_hot(&labels, classes));
+        prop_assert!(loss >= 0.0);
+        // Gradient rows sum to ~0 (softmax sums to 1, one-hot sums to 1).
+        for r in 0..batch {
+            let s: f64 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn accuracy_is_a_fraction(batch in 1usize..10, classes in 2usize..4, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let logits = Matrix::uniform(batch, classes, -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..batch).map(|_| rng.index(classes)).collect();
+        let acc = accuracy(&logits, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let scaled = acc * batch as f64;
+        prop_assert!((scaled.round() - scaled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adam_converges_on_random_quadratics(target in -5.0f64..5.0, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let start = rng.uniform(-5.0, 5.0);
+        let mut opt = Adam::new(0.1);
+        let mut w = Matrix::row_vector(&[start]);
+        for _ in 0..2000 {
+            let g = Matrix::row_vector(&[2.0 * (w[(0, 0)] - target)]);
+            opt.begin_step();
+            opt.update(0, &mut w, &g);
+        }
+        prop_assert!((w[(0, 0)] - target).abs() < 1e-2, "w = {}, target = {target}", w[(0, 0)]);
+    }
+}

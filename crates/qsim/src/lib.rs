@@ -1,0 +1,62 @@
+//! Statevector quantum circuit simulator with analytic gradients.
+//!
+//! This crate is the Rust replacement for PennyLane's `default.qubit` device
+//! used by the paper: a dense statevector simulator over a standard gate set,
+//! circuit IR distinguishing **encoded inputs** from **trainable parameters**,
+//! the two variational templates the paper evaluates —
+//! [`ansatz::basic_entangler_layers`] (BEL) and
+//! [`ansatz::strongly_entangling_layers`] (SEL) — and two independent
+//! differentiation engines:
+//!
+//! * [`gradient::adjoint`] — O(gates · 2ⁿ) reverse-pass differentiation, used
+//!   in training (this is what makes hybrid backprop tractable), and
+//! * [`gradient::parameter_shift`] — the textbook two-term shift rule, used to
+//!   cross-check the adjoint implementation and for the gradient-cost
+//!   ablation bench.
+//!
+//! Qubit ordering is **little-endian**: wire `q` corresponds to bit `q` of the
+//! amplitude index, so `|q1 q0⟩ = |10⟩` is amplitude index `2`.
+//!
+//! # Example
+//!
+//! ```
+//! use hqnn_qsim::{Circuit, Observable, ParamSource};
+//!
+//! // ⟨Z⟩ after RX(θ) on |0⟩ is cos(θ).
+//! let mut c = Circuit::new(1);
+//! c.rx(0, ParamSource::Trainable(0));
+//! let theta = 0.3_f64;
+//! let e = c.expectations(&[], &[theta], &[Observable::z(0)]);
+//! assert!((e[0] - theta.cos()).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ansatz;
+pub mod circuit;
+pub mod complex;
+pub mod density;
+pub mod gates;
+pub mod gradient;
+pub mod measurement;
+pub mod metrics;
+pub mod noise;
+pub mod observable;
+pub mod render;
+pub mod state;
+
+pub use ansatz::{EntanglerKind, QnnTemplate, RotationAxis};
+pub use circuit::{Circuit, Op, ParamSource, Wires};
+pub use complex::C64;
+pub use density::DensityMatrix;
+pub use gates::GateKind;
+pub use gradient::{adjoint, finite_diff, parameter_shift, Gradients};
+pub use noise::{NoiseChannel, NoiseModel};
+pub use observable::{Observable, Pauli};
+pub use state::StateVector;
+
+/// Maximum supported qubit count. A 2²⁴-amplitude state is ~256 MiB of
+/// complex doubles — beyond that a dense simulator stops being the right
+/// tool, so construction is rejected early instead of OOM-ing later.
+pub const MAX_QUBITS: usize = 24;

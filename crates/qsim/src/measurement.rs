@@ -1,0 +1,243 @@
+//! Shot-based measurement: sampling bitstrings and estimating expectations
+//! with finite statistics.
+//!
+//! The paper's pipeline (like PennyLane's default) evaluates expectation
+//! values *analytically*; real NISQ hardware estimates them from a finite
+//! number of measurement **shots**, adding `O(1/√shots)` statistical noise
+//! on top of any gate noise. This module provides the sampling machinery so
+//! that idealisation, too, can be dropped: sample computational-basis
+//! outcomes from a [`StateVector`] or [`DensityMatrix`], and estimate `⟨Z⟩`
+//! from the samples.
+
+use hqnn_tensor::SeededRng;
+
+use crate::density::DensityMatrix;
+use crate::state::StateVector;
+
+/// A finite sample of computational-basis measurement outcomes.
+///
+/// # Example
+///
+/// ```
+/// use hqnn_qsim::measurement::sample_state;
+/// use hqnn_qsim::{Circuit, StateVector};
+/// use hqnn_tensor::SeededRng;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.cnot(0, 1);
+/// let shots = sample_state(&c.run(&[], &[]), 1000, &mut SeededRng::new(1));
+/// // A Bell state only ever yields |00⟩ or |11⟩.
+/// assert_eq!(shots.count(1) + shots.count(2), 0);
+/// assert_eq!(shots.shots(), 1000);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Shots {
+    n_qubits: usize,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Shots {
+    /// Number of qubits per outcome.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Total number of shots taken.
+    pub fn shots(&self) -> u64 {
+        self.total
+    }
+
+    /// How many shots landed on basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits`.
+    pub fn count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// Empirical probability of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits`.
+    pub fn frequency(&self, index: usize) -> f64 {
+        self.counts[index] as f64 / self.total as f64
+    }
+
+    /// Empirical `⟨Z_wire⟩`: the signed fraction of shots with that bit 0
+    /// vs 1. Converges to the analytic expectation as `O(1/√shots)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= n_qubits`.
+    pub fn expectation_z(&self, wire: usize) -> f64 {
+        assert!(wire < self.n_qubits, "wire {wire} out of range");
+        let mask = 1usize << wire;
+        let mut signed = 0i64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            if index & mask == 0 {
+                signed += count as i64;
+            } else {
+                signed -= count as i64;
+            }
+        }
+        signed as f64 / self.total as f64
+    }
+
+    /// The standard error of [`Shots::expectation_z`]:
+    /// `√((1 − ⟨Z⟩²) / shots)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= n_qubits`.
+    pub fn standard_error_z(&self, wire: usize) -> f64 {
+        let e = self.expectation_z(wire);
+        ((1.0 - e * e).max(0.0) / self.total as f64).sqrt()
+    }
+
+    fn from_distribution(
+        probabilities: &[f64],
+        n_qubits: usize,
+        shots: u64,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(shots > 0, "need at least one shot");
+        // Cumulative distribution + inverse-CDF sampling.
+        let mut cdf = Vec::with_capacity(probabilities.len());
+        let mut acc = 0.0;
+        for &p in probabilities {
+            acc += p.max(0.0);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        let mut counts = vec![0u64; probabilities.len()];
+        for _ in 0..shots {
+            let u = rng.unit() * norm;
+            let idx = cdf.partition_point(|&c| c < u).min(probabilities.len() - 1);
+            counts[idx] += 1;
+        }
+        Self {
+            n_qubits,
+            counts,
+            total: shots,
+        }
+    }
+}
+
+/// Samples `shots` computational-basis outcomes from a pure state.
+///
+/// # Panics
+///
+/// Panics if `shots == 0`.
+pub fn sample_state(state: &StateVector, shots: u64, rng: &mut SeededRng) -> Shots {
+    Shots::from_distribution(&state.probabilities(), state.n_qubits(), shots, rng)
+}
+
+/// Samples `shots` computational-basis outcomes from a density matrix
+/// (its diagonal is the outcome distribution).
+///
+/// # Panics
+///
+/// Panics if `shots == 0`.
+pub fn sample_density(rho: &DensityMatrix, shots: u64, rng: &mut SeededRng) -> Shots {
+    let probs: Vec<f64> = (0..rho.dim()).map(|i| rho.probability(i)).collect();
+    Shots::from_distribution(&probs, rho.n_qubits(), shots, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Circuit, ParamSource};
+    use crate::noise::NoiseModel;
+
+    #[test]
+    fn deterministic_state_always_yields_same_outcome() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let shots = sample_state(&c.run(&[], &[]), 500, &mut SeededRng::new(0));
+        assert_eq!(shots.count(2), 500);
+        assert_eq!(shots.frequency(2), 1.0);
+        assert_eq!(shots.expectation_z(1), -1.0);
+        assert_eq!(shots.expectation_z(0), 1.0);
+        assert_eq!(shots.standard_error_z(1), 0.0);
+    }
+
+    #[test]
+    fn frequencies_converge_to_probabilities() {
+        let mut c = Circuit::new(1);
+        c.ry(0, ParamSource::Fixed(1.1));
+        let state = c.run(&[], &[]);
+        let shots = sample_state(&state, 200_000, &mut SeededRng::new(3));
+        for i in 0..2 {
+            assert!(
+                (shots.frequency(i) - state.probability(i)).abs() < 0.01,
+                "outcome {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_expectation_tracks_analytic_within_error() {
+        let theta = 0.8;
+        let mut c = Circuit::new(1);
+        c.rx(0, ParamSource::Fixed(theta));
+        let state = c.run(&[], &[]);
+        let shots = sample_state(&state, 50_000, &mut SeededRng::new(7));
+        let err = shots.standard_error_z(0);
+        assert!(
+            (shots.expectation_z(0) - theta.cos()).abs() < 5.0 * err,
+            "{} vs {} (σ = {err})",
+            shots.expectation_z(0),
+            theta.cos()
+        );
+        assert!(err > 0.0 && err < 0.01);
+    }
+
+    #[test]
+    fn error_shrinks_with_shot_count() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let state = c.run(&[], &[]);
+        let few = sample_state(&state, 100, &mut SeededRng::new(1));
+        let many = sample_state(&state, 100_000, &mut SeededRng::new(1));
+        assert!(many.standard_error_z(0) < few.standard_error_z(0) / 10.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(1);
+        let state = c.run(&[], &[]);
+        let a = sample_state(&state, 1000, &mut SeededRng::new(9));
+        let b = sample_state(&state, 1000, &mut SeededRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn density_sampling_matches_diagonal() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cnot(0, 1);
+        let rho = DensityMatrix::run_noisy(&c, &[], &[], &NoiseModel::depolarizing(0.1));
+        let shots = sample_density(&rho, 100_000, &mut SeededRng::new(4));
+        for i in 0..4 {
+            assert!(
+                (shots.frequency(i) - rho.probability(i)).abs() < 0.01,
+                "outcome {i}: {} vs {}",
+                shots.frequency(i),
+                rho.probability(i)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn zero_shots_rejected() {
+        let state = StateVector::new(1);
+        let _ = sample_state(&state, 0, &mut SeededRng::new(0));
+    }
+}

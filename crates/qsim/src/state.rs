@@ -1,0 +1,404 @@
+//! Dense statevector and gate application kernels.
+
+use std::fmt;
+
+use crate::complex::C64;
+use crate::gates::Matrix2;
+use crate::MAX_QUBITS;
+
+/// A pure quantum state over `n` qubits, stored as 2ⁿ complex amplitudes in
+/// little-endian wire order (wire `q` is bit `q` of the amplitude index).
+///
+/// # Example
+///
+/// ```
+/// use hqnn_qsim::{GateKind, StateVector};
+///
+/// // Build the Bell state (|00⟩ + |11⟩)/√2.
+/// let mut s = StateVector::new(2);
+/// s.apply_single(&GateKind::H.matrix(0.0), 0);
+/// s.apply_controlled(&GateKind::X.matrix(0.0), 0, 1);
+/// assert!((s.probability(0) - 0.5).abs() < 1e-12);
+/// assert!((s.probability(3) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// Creates the computational basis state `|0…0⟩` on `n_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits == 0` or `n_qubits > MAX_QUBITS`.
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(n_qubits > 0, "state needs at least one qubit");
+        assert!(
+            n_qubits <= MAX_QUBITS,
+            "{n_qubits} qubits exceeds MAX_QUBITS = {MAX_QUBITS}"
+        );
+        let mut amps = vec![C64::ZERO; 1 << n_qubits];
+        amps[0] = C64::ONE;
+        Self { n_qubits, amps }
+    }
+
+    /// Creates a state from explicit amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplitude count is not a power of two ≥ 2, exceeds
+    /// `2^MAX_QUBITS`, or the vector is not normalised to within `1e-9`.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(
+            len >= 2 && len.is_power_of_two(),
+            "amplitude count {len} is not a power of two >= 2"
+        );
+        let n_qubits = len.trailing_zeros() as usize;
+        assert!(n_qubits <= MAX_QUBITS, "too many qubits");
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!(
+            (norm - 1.0).abs() < 1e-9,
+            "state is not normalised: |ψ|² = {norm}"
+        );
+        Self { n_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Borrow of the amplitude vector (length `2^n_qubits`).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn inner(&self, other: &Self) -> C64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .fold(C64::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// `|ψ|²` — should be 1 for any state produced by unitary evolution.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Probability of measuring computational basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// All basis-state probabilities, in index order.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` between two pure states.
+    pub fn fidelity(&self, other: &Self) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Applies a single-qubit unitary to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= n_qubits`.
+    pub fn apply_single(&mut self, m: &Matrix2, target: usize) {
+        assert!(target < self.n_qubits, "target wire {target} out of range");
+        let stride = 1usize << target;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for i in base..base + stride {
+                let a = self.amps[i];
+                let b = self.amps[i + stride];
+                self.amps[i] = m[0][0] * a + m[0][1] * b;
+                self.amps[i + stride] = m[1][0] * a + m[1][1] * b;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies a single-qubit unitary to `target`, conditioned on `control`
+    /// being `|1⟩` (covers CNOT, CZ, CRX, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wires coincide or are out of range.
+    pub fn apply_controlled(&mut self, m: &Matrix2, control: usize, target: usize) {
+        assert!(control < self.n_qubits, "control wire out of range");
+        assert!(target < self.n_qubits, "target wire out of range");
+        assert_ne!(control, target, "control and target must differ");
+        let t_stride = 1usize << target;
+        let c_mask = 1usize << control;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for i in base..base + t_stride {
+                if i & c_mask == 0 {
+                    continue;
+                }
+                let a = self.amps[i];
+                let b = self.amps[i + t_stride];
+                self.amps[i] = m[0][0] * a + m[0][1] * b;
+                self.amps[i + t_stride] = m[1][0] * a + m[1][1] * b;
+            }
+            base += t_stride << 1;
+        }
+    }
+
+    /// Applies `(|1⟩⟨1| on control) ⊗ M` — the controlled *derivative*
+    /// operator used by adjoint differentiation of controlled rotations.
+    /// Unlike [`StateVector::apply_controlled`] this zeroes the control-0
+    /// subspace instead of leaving it untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wires coincide or are out of range.
+    pub fn apply_controlled_projected(&mut self, m: &Matrix2, control: usize, target: usize) {
+        assert!(control < self.n_qubits, "control wire out of range");
+        assert!(target < self.n_qubits, "target wire out of range");
+        assert_ne!(control, target, "control and target must differ");
+        let t_stride = 1usize << target;
+        let c_mask = 1usize << control;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for i in base..base + t_stride {
+                if i & c_mask == 0 {
+                    self.amps[i] = C64::ZERO;
+                    self.amps[i + t_stride] = C64::ZERO;
+                    continue;
+                }
+                let a = self.amps[i];
+                let b = self.amps[i + t_stride];
+                self.amps[i] = m[0][0] * a + m[0][1] * b;
+                self.amps[i + t_stride] = m[1][0] * a + m[1][1] * b;
+            }
+            base += t_stride << 1;
+        }
+    }
+
+    /// Swaps wires `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wires coincide or are out of range.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits, "wire out of range");
+        assert_ne!(a, b, "swap wires must differ");
+        let (ma, mb) = (1usize << a, 1usize << b);
+        for i in 0..self.amps.len() {
+            // Visit each (01, 10) pair exactly once.
+            if i & ma != 0 && i & mb == 0 {
+                let j = (i & !ma) | mb;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Expectation value `⟨ψ|Z_wire|ψ⟩ ∈ [-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= n_qubits`.
+    pub fn expectation_z(&self, wire: usize) -> f64 {
+        assert!(wire < self.n_qubits, "wire {wire} out of range");
+        let mask = 1usize << wire;
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let sign = if i & mask == 0 { 1.0 } else { -1.0 };
+                sign * a.norm_sqr()
+            })
+            .sum()
+    }
+
+    /// `true` when all amplitudes are finite.
+    pub fn all_finite(&self) -> bool {
+        self.amps.iter().all(|a| a.is_finite())
+    }
+
+    /// Elementwise approximate equality of amplitudes.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.n_qubits == other.n_qubits
+            && self
+                .amps
+                .iter()
+                .zip(&other.amps)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+}
+
+impl fmt::Display for StateVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "StateVector({} qubits) [", self.n_qubits)?;
+        for (i, a) in self.amps.iter().enumerate() {
+            if a.norm_sqr() > 1e-12 {
+                writeln!(f, "  |{:0width$b}⟩: {a}", i, width = self.n_qubits)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::GateKind;
+
+    #[test]
+    fn new_state_is_ground() {
+        let s = StateVector::new(3);
+        assert_eq!(s.amplitudes()[0], C64::ONE);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(s.probability(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_qubits_rejected() {
+        let _ = StateVector::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_QUBITS")]
+    fn too_many_qubits_rejected() {
+        let _ = StateVector::new(25);
+    }
+
+    #[test]
+    fn x_flips_target_wire() {
+        let mut s = StateVector::new(2);
+        s.apply_single(&GateKind::X.matrix(0.0), 1);
+        // |q1 q0⟩ = |10⟩ → index 2.
+        assert_eq!(s.probability(2), 1.0);
+    }
+
+    #[test]
+    fn hadamard_makes_uniform_superposition() {
+        let mut s = StateVector::new(1);
+        s.apply_single(&GateKind::H.matrix(0.0), 0);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        // For each basis input, CNOT(control=0, target=1) flips bit 1 iff bit 0 set.
+        for input in 0..4usize {
+            let mut amps = vec![C64::ZERO; 4];
+            amps[input] = C64::ONE;
+            let mut s = StateVector::from_amplitudes(amps);
+            s.apply_controlled(&GateKind::X.matrix(0.0), 0, 1);
+            let expected = if input & 1 != 0 { input ^ 2 } else { input };
+            assert!((s.probability(expected) - 1.0).abs() < 1e-12, "input {input}");
+        }
+    }
+
+    #[test]
+    fn bell_state_expectations() {
+        let mut s = StateVector::new(2);
+        s.apply_single(&GateKind::H.matrix(0.0), 0);
+        s.apply_controlled(&GateKind::X.matrix(0.0), 0, 1);
+        assert!(s.expectation_z(0).abs() < 1e-12);
+        assert!(s.expectation_z(1).abs() < 1e-12);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rx_expectation_is_cosine() {
+        for k in 0..10 {
+            let theta = k as f64 * 0.37;
+            let mut s = StateVector::new(1);
+            s.apply_single(&GateKind::RX.matrix(theta), 0);
+            assert!((s.expectation_z(0) - theta.cos()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_wires() {
+        let mut s = StateVector::new(2);
+        s.apply_single(&GateKind::X.matrix(0.0), 0); // |01⟩ (index 1)
+        s.apply_swap(0, 1);
+        assert_eq!(s.probability(2), 1.0); // |10⟩
+    }
+
+    #[test]
+    fn swap_matches_three_cnots() {
+        let mut a = StateVector::new(3);
+        a.apply_single(&GateKind::H.matrix(0.0), 0);
+        a.apply_single(&GateKind::RY.matrix(0.7), 2);
+        let mut b = a.clone();
+        a.apply_swap(0, 2);
+        let x = GateKind::X.matrix(0.0);
+        b.apply_controlled(&x, 0, 2);
+        b.apply_controlled(&x, 2, 0);
+        b.apply_controlled(&x, 0, 2);
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let s = StateVector::new(2);
+        let mut t = StateVector::new(2);
+        assert!((s.fidelity(&t) - 1.0).abs() < 1e-12);
+        t.apply_single(&GateKind::X.matrix(0.0), 0);
+        assert!(s.fidelity(&t) < 1e-12);
+        assert_eq!(s.inner(&s), C64::ONE);
+    }
+
+    #[test]
+    fn controlled_projected_zeroes_control_zero_subspace() {
+        let mut s = StateVector::new(2);
+        s.apply_single(&GateKind::H.matrix(0.0), 0);
+        // After projection onto control=|1⟩ with identity on target,
+        // only index 1 (|01⟩: q0=1) survives with amplitude 1/√2.
+        s.apply_controlled_projected(&GateKind::I.matrix(0.0), 0, 1);
+        assert!((s.amplitudes()[1].norm_sqr() - 0.5).abs() < 1e-12);
+        assert_eq!(s.amplitudes()[0], C64::ZERO);
+        assert_eq!(s.amplitudes()[2], C64::ZERO);
+    }
+
+    #[test]
+    fn from_amplitudes_validates_norm() {
+        let ok = StateVector::from_amplitudes(vec![C64::ONE, C64::ZERO]);
+        assert_eq!(ok.n_qubits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalised")]
+    fn from_amplitudes_rejects_unnormalised() {
+        let _ = StateVector::from_amplitudes(vec![C64::ONE, C64::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_amplitudes_rejects_bad_length() {
+        let _ = StateVector::from_amplitudes(vec![C64::ONE, C64::ZERO, C64::ZERO]);
+    }
+
+    #[test]
+    fn display_shows_nonzero_amplitudes() {
+        let s = StateVector::new(2);
+        let txt = s.to_string();
+        assert!(txt.contains("|00⟩"));
+        assert!(!txt.contains("|01⟩"));
+    }
+}

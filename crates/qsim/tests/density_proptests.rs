@@ -1,0 +1,147 @@
+//! Property-based tests of the mixed-state simulator: physicality of
+//! evolved states (trace, purity), agreement with the pure simulator in the
+//! noiseless limit, and channel invariants.
+
+use hqnn_qsim::{
+    Circuit, DensityMatrix, EntanglerKind, NoiseChannel, NoiseModel, Observable, ParamSource,
+    QnnTemplate,
+};
+use hqnn_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn random_template() -> impl Strategy<Value = (QnnTemplate, u64)> {
+    (2usize..=4, 1usize..=3, proptest::bool::ANY, 0u64..500).prop_map(|(q, d, strong, seed)| {
+        let kind = if strong {
+            EntanglerKind::Strong
+        } else {
+            EntanglerKind::Basic
+        };
+        (QnnTemplate::new(q, d, kind), seed)
+    })
+}
+
+fn bindings(t: &QnnTemplate, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = SeededRng::new(seed);
+    let inputs = (0..t.n_qubits()).map(|_| rng.uniform(-2.0, 2.0)).collect();
+    let params = (0..t.param_count()).map(|_| rng.uniform(0.0, std::f64::consts::TAU)).collect();
+    (inputs, params)
+}
+
+fn noise_model(kind: u8, p: f64) -> NoiseModel {
+    match kind % 4 {
+        0 => NoiseModel::depolarizing(p),
+        1 => NoiseModel::noiseless().with_channel(NoiseChannel::amplitude_damping(p)),
+        2 => NoiseModel::noiseless().with_channel(NoiseChannel::phase_damping(p)),
+        _ => NoiseModel::noiseless().with_channel(NoiseChannel::bit_flip(p)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn noiseless_density_matches_statevector((t, seed) in random_template()) {
+        let (inputs, params) = bindings(&t, seed);
+        let circuit = t.build();
+        let psi = circuit.run(&inputs, &params);
+        let rho = DensityMatrix::run_noisy(&circuit, &inputs, &params, &NoiseModel::noiseless());
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-9);
+        for wire in 0..t.n_qubits() {
+            prop_assert!((rho.expectation_z(wire) - psi.expectation_z(wire)).abs() < 1e-9);
+        }
+        for i in 0..rho.dim() {
+            prop_assert!((rho.probability(i) - psi.probability(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noisy_states_stay_physical(
+        (t, seed) in random_template(),
+        channel_kind in 0u8..4,
+        p in 0.0f64..0.5,
+    ) {
+        let (inputs, params) = bindings(&t, seed);
+        let circuit = t.build();
+        let rho = DensityMatrix::run_noisy(&circuit, &inputs, &params, &noise_model(channel_kind, p));
+        prop_assert!((rho.trace().re - 1.0).abs() < 1e-9, "trace {}", rho.trace());
+        prop_assert!(rho.trace().im.abs() < 1e-9);
+        let purity = rho.purity();
+        let floor = 1.0 / rho.dim() as f64;
+        prop_assert!(purity <= 1.0 + 1e-9 && purity >= floor - 1e-9, "purity {purity}");
+        // Diagonal is a probability distribution.
+        let mut total = 0.0;
+        for i in 0..rho.dim() {
+            let prob = rho.probability(i);
+            prop_assert!(prob >= -1e-9, "negative probability {prob}");
+            total += prob;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Expectations stay in [-1, 1].
+        for wire in 0..t.n_qubits() {
+            let e = rho.expectation_z(wire);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+        }
+    }
+
+    #[test]
+    fn depolarizing_contracts_expectations((t, seed) in random_template(), p in 0.01f64..0.4) {
+        let (inputs, params) = bindings(&t, seed);
+        let circuit = t.build();
+        let clean = DensityMatrix::run_noisy(&circuit, &inputs, &params, &NoiseModel::noiseless());
+        let noisy = DensityMatrix::run_noisy(&circuit, &inputs, &params, &NoiseModel::depolarizing(p));
+        // Depolarizing noise pulls the state toward I/2ⁿ: purity cannot grow.
+        prop_assert!(noisy.purity() <= clean.purity() + 1e-9);
+    }
+
+    #[test]
+    fn observable_expectations_agree_between_paths((t, seed) in random_template()) {
+        let (inputs, params) = bindings(&t, seed);
+        let circuit = t.build();
+        let rho = DensityMatrix::run_noisy(&circuit, &inputs, &params, &NoiseModel::depolarizing(0.05));
+        for wire in 0..t.n_qubits() {
+            let fast = rho.expectation_z(wire);
+            let generic = rho.expectation(&Observable::z(wire));
+            prop_assert!((fast - generic).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noisy_gradients_match_noisy_finite_diff(
+        qubits in 2usize..=3,
+        seed in 0u64..200,
+        p in 0.0f64..0.2,
+    ) {
+        let mut c = Circuit::new(qubits);
+        for w in 0..qubits {
+            c.rx(w, ParamSource::Input(w));
+        }
+        for w in 0..qubits {
+            c.ry(w, ParamSource::Trainable(w));
+        }
+        c.cnot(0, qubits - 1);
+        let mut rng = SeededRng::new(seed);
+        let inputs: Vec<f64> = (0..qubits).map(|_| rng.uniform(-1.5, 1.5)).collect();
+        let params: Vec<f64> = (0..qubits).map(|_| rng.uniform(0.0, std::f64::consts::TAU)).collect();
+        let obs: Vec<Observable> = (0..qubits).map(Observable::z).collect();
+        let noise = NoiseModel::depolarizing(p);
+
+        let analytic = hqnn_qsim::gradient::parameter_shift_noisy(&c, &inputs, &params, &obs, &noise);
+        let eval = |params: &[f64]| -> Vec<f64> {
+            let rho = DensityMatrix::run_noisy(&c, &inputs, params, &noise);
+            obs.iter().map(|o| rho.expectation(o)).collect()
+        };
+        let eps = 1e-5;
+        for t in 0..qubits {
+            let mut up = params.clone();
+            up[t] += eps;
+            let mut dn = params.clone();
+            dn[t] -= eps;
+            let (e_up, e_dn) = (eval(&up), eval(&dn));
+            for o in 0..qubits {
+                let fd = (e_up[o] - e_dn[o]) / (2.0 * eps);
+                prop_assert!((analytic.d_params[(o, t)] - fd).abs() < 1e-5,
+                    "param {t} obs {o}: {} vs {fd}", analytic.d_params[(o, t)]);
+            }
+        }
+    }
+}

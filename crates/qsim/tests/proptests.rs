@@ -1,0 +1,178 @@
+//! Property-based tests of the simulator: norm preservation, unitarity,
+//! gradient-engine agreement on random circuits.
+
+use hqnn_qsim::{
+    adjoint, finite_diff, parameter_shift, Circuit, EntanglerKind, Observable, ParamSource,
+    QnnTemplate,
+};
+use proptest::prelude::*;
+
+/// A recipe for one random op, expanded against a concrete wire count.
+#[derive(Clone, Debug)]
+enum OpRecipe {
+    H(usize),
+    X(usize),
+    Rx(usize),
+    Ry(usize),
+    Rz(usize),
+    Phase(usize),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    Swap(usize, usize),
+}
+
+fn op_recipe(n_qubits: usize) -> impl Strategy<Value = OpRecipe> {
+    let w = 0..n_qubits;
+    let pair = (0..n_qubits, 0..n_qubits - 1).prop_map(move |(a, off)| {
+        let b = (a + 1 + off) % n_qubits;
+        (a, b)
+    });
+    prop_oneof![
+        w.clone().prop_map(OpRecipe::H),
+        w.clone().prop_map(OpRecipe::X),
+        w.clone().prop_map(OpRecipe::Rx),
+        w.clone().prop_map(OpRecipe::Ry),
+        w.clone().prop_map(OpRecipe::Rz),
+        w.prop_map(OpRecipe::Phase),
+        pair.clone().prop_map(|(a, b)| OpRecipe::Cnot(a, b)),
+        pair.clone().prop_map(|(a, b)| OpRecipe::Cz(a, b)),
+        pair.prop_map(|(a, b)| OpRecipe::Swap(a, b)),
+    ]
+}
+
+/// Builds a circuit from recipes; every rotation gets its own trainable slot.
+fn build(n_qubits: usize, recipes: &[OpRecipe]) -> Circuit {
+    let mut c = Circuit::new(n_qubits);
+    let mut slot = 0;
+    let mut trainable = || {
+        let s = ParamSource::Trainable(slot);
+        slot += 1;
+        s
+    };
+    for r in recipes {
+        match *r {
+            OpRecipe::H(w) => c.h(w),
+            OpRecipe::X(w) => c.x(w),
+            OpRecipe::Rx(w) => c.rx(w, trainable()),
+            OpRecipe::Ry(w) => c.ry(w, trainable()),
+            OpRecipe::Rz(w) => c.rz(w, trainable()),
+            OpRecipe::Phase(w) => c.phase_shift(w, trainable()),
+            OpRecipe::Cnot(a, b) => c.cnot(a, b),
+            OpRecipe::Cz(a, b) => c.cz(a, b),
+            OpRecipe::Swap(a, b) => c.swap(a, b),
+        }
+    }
+    c
+}
+
+fn random_circuit() -> impl Strategy<Value = (Circuit, Vec<f64>)> {
+    (2usize..=4)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(op_recipe(n), 1..12)
+                .prop_map(move |recipes| build(n, &recipes))
+        })
+        .prop_flat_map(|c| {
+            let n_params = c.trainable_count();
+            (
+                Just(c),
+                proptest::collection::vec(-3.0f64..3.0, n_params..=n_params.max(1)),
+            )
+        })
+}
+
+fn z_all(n: usize) -> Vec<Observable> {
+    (0..n).map(Observable::z).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_circuits_preserve_norm((c, params) in random_circuit()) {
+        let state = c.run(&[], &params);
+        prop_assert!((state.norm_sqr() - 1.0).abs() < 1e-9);
+        prop_assert!(state.all_finite());
+    }
+
+    #[test]
+    fn expectations_stay_in_unit_interval((c, params) in random_circuit()) {
+        for e in c.expectations(&[], &params, &z_all(c.n_qubits())) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+        }
+    }
+
+    #[test]
+    fn adjoint_agrees_with_parameter_shift((c, params) in random_circuit()) {
+        let obs = z_all(c.n_qubits());
+        let a = adjoint(&c, &[], &params, &obs);
+        let p = parameter_shift(&c, &[], &params, &obs);
+        prop_assert!(a.d_params.approx_eq(&p.d_params, 1e-8),
+            "adjoint {:?} vs shift {:?}", a.d_params, p.d_params);
+        for (ea, ep) in a.expectations.iter().zip(&p.expectations) {
+            prop_assert!((ea - ep).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn adjoint_agrees_with_finite_diff((c, params) in random_circuit()) {
+        let obs = z_all(c.n_qubits());
+        let a = adjoint(&c, &[], &params, &obs);
+        let f = finite_diff(&c, &[], &params, &obs, 1e-5);
+        prop_assert!(a.d_params.approx_eq(&f.d_params, 1e-4),
+            "adjoint {:?} vs fd {:?}", a.d_params, f.d_params);
+    }
+
+    #[test]
+    fn inverses_round_trip((c, params) in random_circuit()) {
+        // Running the circuit and then un-applying every op recovers |0…0⟩,
+        // exactly the invariant the adjoint pass relies on.
+        let forward = c.run(&[], &params);
+        prop_assert!((forward.norm_sqr() - 1.0).abs() < 1e-9);
+        let ground = hqnn_qsim::StateVector::new(c.n_qubits());
+        prop_assert!((forward.fidelity(&forward) - 1.0).abs() < 1e-9);
+        // Fidelity with ground state equals |amplitude of |0…0⟩|².
+        prop_assert!((forward.fidelity(&ground) - forward.probability(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extracted_unitary_is_unitary_and_reproduces_evolution((c, params) in random_circuit()) {
+        let dim = 1usize << c.n_qubits();
+        let u = hqnn_qsim::render::unitary(&c, &[], &params);
+        prop_assert!(hqnn_qsim::render::is_unitary_matrix(&u, dim, 1e-9));
+        // First column of U = U|0…0⟩ = the simulated final state.
+        let state = c.run(&[], &params);
+        for (row, amp) in state.amplitudes().iter().enumerate() {
+            prop_assert!(u[row * dim].approx_eq(*amp, 1e-9), "row {row}");
+        }
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_wire((c, _params) in random_circuit()) {
+        let text = hqnn_qsim::render::render_ascii(&c);
+        prop_assert_eq!(text.lines().count(), c.n_qubits());
+        for (w, line) in text.lines().enumerate() {
+            let prefix = format!("q{w}:");
+            prop_assert!(line.starts_with(&prefix));
+        }
+    }
+
+    #[test]
+    fn templates_gradcheck(
+        qubits in 2usize..=4,
+        depth in 1usize..=3,
+        strong in proptest::bool::ANY,
+        seed in 0u64..500,
+    ) {
+        let kind = if strong { EntanglerKind::Strong } else { EntanglerKind::Basic };
+        let t = QnnTemplate::new(qubits, depth, kind);
+        let c = t.build();
+        let mut rng = hqnn_tensor::SeededRng::new(seed);
+        let params: Vec<f64> = (0..t.param_count()).map(|_| rng.uniform(-3.0, 3.0)).collect();
+        let inputs: Vec<f64> = (0..qubits).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let obs = z_all(qubits);
+        let a = adjoint(&c, &inputs, &params, &obs);
+        let p = parameter_shift(&c, &inputs, &params, &obs);
+        prop_assert!(a.d_params.approx_eq(&p.d_params, 1e-8));
+        prop_assert!(a.d_inputs.approx_eq(&p.d_inputs, 1e-8));
+    }
+}

@@ -1,0 +1,445 @@
+//! Experiment drivers for the paper's figures and table.
+//!
+//! | Paper artifact | Driver |
+//! |----------------|--------|
+//! | Fig. 6 (classical FLOPs scaling)   | [`StudyResult::run_classical`] |
+//! | Fig. 7 (hybrid BEL FLOPs scaling)  | [`StudyResult::run_bel`] |
+//! | Fig. 8 (hybrid SEL FLOPs scaling)  | [`StudyResult::run_sel`] |
+//! | Fig. 9 (parameter counts)          | winners of the above |
+//! | Fig. 10 (comparative rates)        | smallest winners of the above |
+//! | Table I (Enc/CL/QL ablation)       | [`table_one_paper_combos`], [`table_one_from_study`] |
+//!
+//! A [`StudyResult`] is serialisable; the figure binaries cache it as JSON
+//! so Fig. 9/10 reuse the searches Figs. 6–8 ran.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use hqnn_core::HybridSpec;
+use hqnn_flops::CostModel;
+use hqnn_qsim::{EntanglerKind, QnnTemplate};
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{search_level, ComboOutcome, LevelResult, SearchConfig};
+use crate::space::{classical_space, hybrid_space};
+
+/// Number of classes in the study's task (3-arm spiral).
+pub const N_CLASSES: usize = 3;
+
+/// Which model family an experiment searches over.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Classical MLPs (Fig. 6).
+    Classical,
+    /// BEL-based hybrids (Fig. 7).
+    HybridBel,
+    /// SEL-based hybrids (Fig. 8).
+    HybridSel,
+}
+
+impl Family {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Classical => "classical",
+            Family::HybridBel => "hybrid (BEL)",
+            Family::HybridSel => "hybrid (SEL)",
+        }
+    }
+}
+
+/// Configuration of a full study (all levels, one or more families).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The search protocol.
+    pub search: SearchConfig,
+    /// Complexity levels (feature counts) to sweep.
+    pub levels: Vec<usize>,
+    /// FLOPs accounting convention.
+    pub cost: CostModel,
+}
+
+impl ExperimentConfig {
+    /// The paper's full sweep: features 10, 20, …, 110 with the paper
+    /// protocol.
+    pub fn paper() -> Self {
+        Self {
+            search: SearchConfig::paper(),
+            levels: hqnn_data::complexity_levels(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// A reduced sweep (three levels, fast protocol) that regenerates every
+    /// figure's shape in minutes on one core.
+    pub fn fast() -> Self {
+        Self {
+            search: SearchConfig::fast(),
+            levels: vec![10, 60, 110],
+            cost: CostModel::default(),
+        }
+    }
+
+    /// A miniature sweep for tests and benches.
+    pub fn smoke() -> Self {
+        Self {
+            search: SearchConfig::smoke(),
+            levels: vec![4, 8],
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// The collected outcome of the study: one [`LevelResult`] per complexity
+/// level per family that was run (empty `Vec` for families not yet run).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StudyResult {
+    /// The configuration the study ran with.
+    pub config: ExperimentConfig,
+    /// Fig. 6 data.
+    pub classical: Vec<LevelResult>,
+    /// Fig. 7 data.
+    pub hybrid_bel: Vec<LevelResult>,
+    /// Fig. 8 data.
+    pub hybrid_sel: Vec<LevelResult>,
+}
+
+impl StudyResult {
+    /// Creates an empty study for the given configuration.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Self {
+            config,
+            classical: Vec::new(),
+            hybrid_bel: Vec::new(),
+            hybrid_sel: Vec::new(),
+        }
+    }
+
+    /// Runs one family's search over every configured level, storing (and
+    /// returning a reference to) its per-level results. `progress` receives
+    /// `(n_features, repetition, combo)` after each evaluation.
+    pub fn run_family(
+        &mut self,
+        family: Family,
+        progress: &mut dyn FnMut(usize, usize, &ComboOutcome),
+    ) -> &[LevelResult] {
+        let config = self.config.clone();
+        let mut results = Vec::with_capacity(config.levels.len());
+        for &n_features in &config.levels {
+            let space = match family {
+                Family::Classical => classical_space(n_features, N_CLASSES),
+                Family::HybridBel => hybrid_space(n_features, N_CLASSES, EntanglerKind::Basic),
+                Family::HybridSel => hybrid_space(n_features, N_CLASSES, EntanglerKind::Strong),
+            };
+            let result = search_level(
+                &space,
+                n_features,
+                &config.search,
+                &config.cost,
+                &mut |rep, combo| progress(n_features, rep, combo),
+            );
+            results.push(result);
+        }
+        let slot = match family {
+            Family::Classical => &mut self.classical,
+            Family::HybridBel => &mut self.hybrid_bel,
+            Family::HybridSel => &mut self.hybrid_sel,
+        };
+        *slot = results;
+        slot
+    }
+
+    /// Runs the classical search (Fig. 6) quietly.
+    pub fn run_classical(&mut self) -> &[LevelResult] {
+        self.run_family(Family::Classical, &mut |_, _, _| {})
+    }
+
+    /// Runs the BEL-hybrid search (Fig. 7) quietly.
+    pub fn run_bel(&mut self) -> &[LevelResult] {
+        self.run_family(Family::HybridBel, &mut |_, _, _| {})
+    }
+
+    /// Runs the SEL-hybrid search (Fig. 8) quietly.
+    pub fn run_sel(&mut self) -> &[LevelResult] {
+        self.run_family(Family::HybridSel, &mut |_, _, _| {})
+    }
+
+    /// The stored results for a family (may be empty if not run).
+    pub fn family(&self, family: Family) -> &[LevelResult] {
+        match family {
+            Family::Classical => &self.classical,
+            Family::HybridBel => &self.hybrid_bel,
+            Family::HybridSel => &self.hybrid_sel,
+        }
+    }
+
+    /// Serialises the study as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, json)
+    }
+
+    /// Loads a study previously written by [`StudyResult::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file is missing or not valid study JSON.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+}
+
+/// One row of the paper's Table I: per-sample FLOPs of a hybrid model
+/// decomposed into total / encoding+classical / classical / encoding /
+/// quantum-layer shares.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableOneRow {
+    /// `"Hybrid (BEL)"` or `"Hybrid (SEL)"`.
+    pub model: String,
+    /// Feature size (problem complexity).
+    pub feature_size: usize,
+    /// Best combination `(qubits, layers)` the row describes.
+    pub best_combo: (usize, usize),
+    /// Total FLOPs ("TF").
+    pub total: u64,
+    /// Encoding + classical layers ("Enc+CL").
+    pub enc_plus_cl: u64,
+    /// Classical layers only ("CL").
+    pub classical: u64,
+    /// Encoding only ("Enc").
+    pub encoding: u64,
+    /// Quantum layer ("QL").
+    pub quantum: u64,
+}
+
+fn table_row(kind: EntanglerKind, features: usize, combo: (usize, usize), cost: &CostModel) -> TableOneRow {
+    let spec = HybridSpec::new(features, N_CLASSES, QnnTemplate::new(combo.0, combo.1, kind));
+    let f = spec.flops(cost);
+    TableOneRow {
+        model: format!("Hybrid ({})", kind.short_name()),
+        feature_size: features,
+        best_combo: combo,
+        total: f.total(),
+        enc_plus_cl: f.encoding + f.classical,
+        classical: f.classical,
+        encoding: f.encoding,
+        quantum: f.quantum,
+    }
+}
+
+/// Table I priced at the paper's reported best combinations:
+/// BEL (3,2)/(3,2)/(3,4)/(4,4) and SEL (3,2) throughout, at feature sizes
+/// 10/40/80/110.
+pub fn table_one_paper_combos(cost: &CostModel) -> Vec<TableOneRow> {
+    let mut rows = Vec::with_capacity(8);
+    let bel = [(10, (3, 2)), (40, (3, 2)), (80, (3, 4)), (110, (4, 4))];
+    for (features, combo) in bel {
+        rows.push(table_row(EntanglerKind::Basic, features, combo, cost));
+    }
+    for features in [10, 40, 80, 110] {
+        rows.push(table_row(EntanglerKind::Strong, features, (3, 2), cost));
+    }
+    rows
+}
+
+/// Table I priced at the combinations *this* study's searches actually
+/// selected (the smallest winner per level). Levels with no winner are
+/// skipped.
+pub fn table_one_from_study(study: &StudyResult) -> Vec<TableOneRow> {
+    let mut rows = Vec::new();
+    for (family, results) in [
+        (EntanglerKind::Basic, &study.hybrid_bel),
+        (EntanglerKind::Strong, &study.hybrid_sel),
+    ] {
+        for level in results {
+            let Some(winner) = level.smallest_winner() else {
+                continue;
+            };
+            let hqnn_core::ModelSpec::Hybrid(h) = &winner.spec else {
+                continue;
+            };
+            rows.push(table_row(
+                family,
+                level.n_features,
+                (h.template.n_qubits(), h.template.depth()),
+                &study.config.cost,
+            ));
+        }
+    }
+    rows
+}
+
+/// Evaluates **every** combination of a space at one level (no early stop,
+/// up to `max_combos`), cheapest first — the exhaustive counterpart of the
+/// paper's greedy protocol, used to chart the accuracy-vs-FLOPs landscape.
+pub fn accuracy_frontier(
+    space: &[hqnn_core::ModelSpec],
+    n_features: usize,
+    config: &SearchConfig,
+    cost: &hqnn_flops::CostModel,
+    progress: &mut dyn FnMut(&ComboOutcome),
+) -> Vec<ComboOutcome> {
+    let mut sorted: Vec<&hqnn_core::ModelSpec> = space.iter().collect();
+    sorted.sort_by_key(|s| s.flops(cost).total());
+    let data = crate::protocol::prepare_level_data(config, n_features);
+    let mut outcomes = Vec::new();
+    for (idx, spec) in sorted
+        .iter()
+        .take(config.max_combos_per_repetition)
+        .enumerate()
+    {
+        let salt = 0xF00D_0000 | idx as u64;
+        let outcome = crate::protocol::evaluate_combo(spec, &data, config, cost, salt);
+        progress(&outcome);
+        outcomes.push(outcome);
+    }
+    outcomes
+}
+
+/// The Pareto-optimal subset of outcomes: no other outcome has both lower
+/// total FLOPs and strictly higher validation accuracy. Returned sorted by
+/// FLOPs ascending (accuracy is then non-decreasing along the front).
+pub fn pareto_front(outcomes: &[ComboOutcome]) -> Vec<&ComboOutcome> {
+    let mut sorted: Vec<&ComboOutcome> = outcomes.iter().collect();
+    sorted.sort_by_key(|o| o.flops.total());
+    let mut front: Vec<&ComboOutcome> = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    for o in sorted {
+        if o.avg_val_accuracy > best_acc {
+            best_acc = o.avg_val_accuracy;
+            front.push(o);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_study_runs_all_families() {
+        let mut study = StudyResult::new(ExperimentConfig::smoke());
+        study.run_classical();
+        study.run_bel();
+        study.run_sel();
+        assert_eq!(study.classical.len(), 2);
+        assert_eq!(study.hybrid_bel.len(), 2);
+        assert_eq!(study.hybrid_sel.len(), 2);
+        assert_eq!(study.family(Family::Classical).len(), 2);
+        for level in &study.classical {
+            assert_eq!(level.repetitions.len(), 1);
+            assert!(!level.repetitions[0].evaluated.is_empty());
+        }
+    }
+
+    #[test]
+    fn study_round_trips_through_json() {
+        let mut study = StudyResult::new(ExperimentConfig::smoke());
+        study.run_classical();
+        let dir = std::env::temp_dir().join("hqnn-search-test");
+        let path = dir.join("study.json");
+        study.save(&path).expect("save study");
+        let loaded = StudyResult::load(&path).expect("load study");
+        assert_eq!(study, loaded);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(StudyResult::load("/nonexistent/study.json").is_err());
+    }
+
+    #[test]
+    fn table_one_paper_combos_structure() {
+        let rows = table_one_paper_combos(&CostModel::default());
+        assert_eq!(rows.len(), 8);
+        // Column identity: TF = Enc+CL + QL and Enc+CL = Enc + CL.
+        for row in &rows {
+            assert_eq!(row.total, row.enc_plus_cl + row.quantum);
+            assert_eq!(row.enc_plus_cl, row.encoding + row.classical);
+        }
+        // SEL rows share a constant QL (the paper's key observation).
+        let sel: Vec<&TableOneRow> = rows.iter().filter(|r| r.model.contains("SEL")).collect();
+        assert_eq!(sel.len(), 4);
+        assert!(sel.iter().all(|r| r.quantum == sel[0].quantum));
+        // BEL QL grows once the architecture grows.
+        let bel: Vec<&TableOneRow> = rows.iter().filter(|r| r.model.contains("BEL")).collect();
+        assert!(bel[3].quantum > bel[0].quantum);
+        // CL grows with feature size in both blocks.
+        assert!(sel[3].classical > sel[0].classical);
+    }
+
+    #[test]
+    fn table_one_from_study_uses_winners() {
+        let mut study = StudyResult::new(ExperimentConfig::smoke());
+        study.run_sel();
+        let rows = table_one_from_study(&study);
+        // Smoke protocol may or may not find winners; rows must be
+        // structurally valid either way.
+        for row in rows {
+            assert!(row.model.contains("SEL"));
+            assert_eq!(row.total, row.enc_plus_cl + row.quantum);
+            assert!(study.config.levels.contains(&row.feature_size));
+        }
+    }
+
+    #[test]
+    fn accuracy_frontier_evaluates_in_flops_order() {
+        let config = SearchConfig::smoke();
+        let cost = CostModel::default();
+        let space = crate::space::classical_space(4, 3);
+        let mut seen = 0;
+        let outcomes = accuracy_frontier(&space, 4, &config, &cost, &mut |_| seen += 1);
+        assert_eq!(outcomes.len(), config.max_combos_per_repetition.min(space.len()));
+        assert_eq!(seen, outcomes.len());
+        let flops: Vec<u64> = outcomes.iter().map(|o| o.flops.total()).collect();
+        assert!(flops.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated_and_monotone() {
+        let config = SearchConfig::smoke();
+        let cost = CostModel::default();
+        let space = crate::space::classical_space(4, 3);
+        let outcomes = accuracy_frontier(&space, 4, &config, &cost, &mut |_| {});
+        let front = pareto_front(&outcomes);
+        assert!(!front.is_empty());
+        // Monotone: FLOPs ascending and accuracy strictly ascending.
+        for pair in front.windows(2) {
+            assert!(pair[0].flops.total() <= pair[1].flops.total());
+            assert!(pair[0].avg_val_accuracy < pair[1].avg_val_accuracy);
+        }
+        // Non-dominated: nothing in the full set beats a front member on
+        // both axes.
+        for member in &front {
+            for o in &outcomes {
+                assert!(
+                    !(o.flops.total() < member.flops.total()
+                        && o.avg_val_accuracy > member.avg_val_accuracy),
+                    "{} dominates front member {}",
+                    o.spec.label(),
+                    member.spec.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn experiment_profiles() {
+        assert_eq!(ExperimentConfig::paper().levels.len(), 11);
+        assert_eq!(ExperimentConfig::fast().levels, vec![10, 60, 110]);
+        assert!(ExperimentConfig::smoke().levels.len() < 3);
+        assert_eq!(Family::Classical.name(), "classical");
+        assert_eq!(Family::HybridSel.name(), "hybrid (SEL)");
+    }
+}

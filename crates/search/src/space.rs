@@ -1,0 +1,176 @@
+//! Model search spaces (paper §III-B and §III-C).
+
+use hqnn_core::{ClassicalSpec, HybridSpec, ModelSpec};
+use hqnn_qsim::{EntanglerKind, QnnTemplate};
+
+/// The number of architectures with 1..=n layers and m width options per
+/// layer: `m·(mⁿ − 1)/(m − 1)` (the paper's §III-B formula; `n` for `m = 1`).
+///
+/// # Example
+///
+/// ```
+/// // The paper's example: m = 2 options, up to n = 2 layers → 6 combos.
+/// assert_eq!(hqnn_search::combination_count(2, 2), 6);
+/// // The paper's classical space: 5 widths, ≤ 3 layers → 155 combos.
+/// assert_eq!(hqnn_search::combination_count(5, 3), 155);
+/// ```
+pub fn combination_count(m: usize, n: usize) -> usize {
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    if m == 1 {
+        return n;
+    }
+    m * (m.pow(n as u32) - 1) / (m - 1)
+}
+
+/// The paper's neuron options for classical hidden layers.
+pub const NEURON_OPTIONS: [usize; 5] = [2, 4, 6, 8, 10];
+
+/// Maximum number of classical hidden layers.
+pub const MAX_HIDDEN_LAYERS: usize = 3;
+
+/// The paper's qubit options for hybrid quantum layers.
+pub const QUBIT_OPTIONS: [usize; 3] = [3, 4, 5];
+
+/// The paper's depth options for hybrid quantum layers.
+pub const DEPTH_OPTIONS: std::ops::RangeInclusive<usize> = 1..=10;
+
+/// Enumerates the classical search space for one complexity level: every
+/// MLP with 1 to [`MAX_HIDDEN_LAYERS`] hidden layers whose widths are drawn
+/// from [`NEURON_OPTIONS`] — 155 architectures.
+///
+/// # Example
+///
+/// ```
+/// let space = hqnn_search::classical_space(10, 3);
+/// assert_eq!(space.len(), 155);
+/// ```
+pub fn classical_space(n_features: usize, n_classes: usize) -> Vec<ModelSpec> {
+    let mut specs = Vec::with_capacity(combination_count(
+        NEURON_OPTIONS.len(),
+        MAX_HIDDEN_LAYERS,
+    ));
+    let mut stack: Vec<Vec<usize>> = NEURON_OPTIONS.iter().map(|&w| vec![w]).collect();
+    while let Some(hidden) = stack.pop() {
+        if hidden.len() < MAX_HIDDEN_LAYERS {
+            for &w in NEURON_OPTIONS.iter() {
+                let mut next = hidden.clone();
+                next.push(w);
+                stack.push(next);
+            }
+        }
+        specs.push(ModelSpec::Classical(ClassicalSpec::new(
+            n_features,
+            hidden,
+            n_classes,
+        )));
+    }
+    specs
+}
+
+/// Enumerates the hybrid search space for one complexity level and one
+/// entangler kind: qubits from [`QUBIT_OPTIONS`] × depth from
+/// [`DEPTH_OPTIONS`] — 30 architectures.
+///
+/// # Example
+///
+/// ```
+/// use hqnn_qsim::EntanglerKind;
+///
+/// let space = hqnn_search::hybrid_space(10, 3, EntanglerKind::Strong);
+/// assert_eq!(space.len(), 30);
+/// ```
+pub fn hybrid_space(
+    n_features: usize,
+    n_classes: usize,
+    kind: EntanglerKind,
+) -> Vec<ModelSpec> {
+    let mut specs = Vec::with_capacity(QUBIT_OPTIONS.len() * DEPTH_OPTIONS.count());
+    for &qubits in QUBIT_OPTIONS.iter() {
+        for depth in DEPTH_OPTIONS {
+            specs.push(ModelSpec::Hybrid(HybridSpec::new(
+                n_features,
+                n_classes,
+                QnnTemplate::new(qubits, depth, kind),
+            )));
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqnn_flops::CostModel;
+    use std::collections::HashSet;
+
+    #[test]
+    fn combination_count_matches_formula() {
+        assert_eq!(combination_count(2, 2), 6);
+        assert_eq!(combination_count(5, 3), 155);
+        assert_eq!(combination_count(5, 1), 5);
+        assert_eq!(combination_count(1, 4), 4);
+        assert_eq!(combination_count(0, 3), 0);
+        assert_eq!(combination_count(3, 0), 0);
+    }
+
+    #[test]
+    fn classical_space_has_155_unique_members() {
+        let space = classical_space(10, 3);
+        assert_eq!(space.len(), 155);
+        let labels: HashSet<String> = space.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 155);
+    }
+
+    #[test]
+    fn classical_space_respects_bounds() {
+        for spec in classical_space(20, 3) {
+            let ModelSpec::Classical(c) = spec else {
+                panic!("classical space produced a hybrid spec")
+            };
+            assert!((1..=MAX_HIDDEN_LAYERS).contains(&c.hidden.len()));
+            assert!(c.hidden.iter().all(|w| NEURON_OPTIONS.contains(w)));
+            assert_eq!(c.n_features, 20);
+            assert_eq!(c.n_classes, 3);
+        }
+    }
+
+    #[test]
+    fn classical_space_contains_papers_example_shapes() {
+        let labels: HashSet<String> = classical_space(10, 3)
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        for expected in ["C[2]@10f", "C[10]@10f", "C[2,4]@10f", "C[10,10,10]@10f"] {
+            assert!(labels.contains(expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn hybrid_space_has_30_members_per_kind() {
+        for kind in [EntanglerKind::Basic, EntanglerKind::Strong] {
+            let space = hybrid_space(40, 3, kind);
+            assert_eq!(space.len(), 30);
+            for spec in &space {
+                let ModelSpec::Hybrid(h) = spec else {
+                    panic!("hybrid space produced a classical spec")
+                };
+                assert!(QUBIT_OPTIONS.contains(&h.template.n_qubits()));
+                assert!(DEPTH_OPTIONS.contains(&h.template.depth()));
+                assert_eq!(h.template.kind(), kind);
+            }
+        }
+    }
+
+    #[test]
+    fn spaces_price_monotonically_after_sorting() {
+        let cost = CostModel::default();
+        let mut space = classical_space(10, 3);
+        space.sort_by_key(|s| s.flops(&cost).total());
+        let totals: Vec<u64> = space.iter().map(|s| s.flops(&cost).total()).collect();
+        assert!(totals.windows(2).all(|w| w[0] <= w[1]));
+        // The cheapest classical model is the single smallest layer.
+        assert_eq!(space[0].label(), "C[2]@10f");
+    }
+}

@@ -1,0 +1,659 @@
+//! Row-major dense `f64` matrix.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SeededRng;
+
+/// A dense, row-major `f64` matrix.
+///
+/// `Matrix` is the single tensor type of the workspace: a batch of samples is
+/// a `(batch, features)` matrix, a dense-layer weight is `(in, out)`, a vector
+/// is a `(1, n)` or `(n, 1)` matrix.
+///
+/// # Example
+///
+/// ```
+/// use hqnn_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+/// assert_eq!(m.shape(), (2, 3));
+/// assert_eq!(m[(1, 2)], 6.0);
+/// assert_eq!(m.transpose().shape(), (3, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        m.data.fill(value);
+        m
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a `1 × n` row vector from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Samples every entry i.i.d. uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut SeededRng) -> Self {
+        assert!(lo < hi, "uniform bounds must satisfy lo < hi");
+        let mut m = Self::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.uniform(lo, hi);
+        }
+        m
+    }
+
+    /// Samples every entry i.i.d. from `N(mean, std²)`.
+    pub fn normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut SeededRng) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.normal(mean, std);
+        }
+        m
+    }
+
+    /// Glorot/Xavier uniform initialisation for a `(fan_in, fan_out)` weight,
+    /// the Keras `Dense` default the paper's models were initialised with.
+    pub fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Self {
+        let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        Self::uniform(fan_in, fan_out, -limit, limit, rng)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its flat row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {} out of bounds ({})", r, self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row {} out of bounds ({})", r, self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns column `c` as an owned `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col {} out of bounds ({})", c, self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.cols.max(1))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let src = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += a * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise map, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Combines two equal-shape matrices elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_with(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Self {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "elementwise shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Multiplies every entry by `s`, returning a new matrix.
+    pub fn scale(&self, s: f64) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `other * s` into `self` (fused AXPY update, used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Self, s: f64) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Broadcast-adds a `1 × cols` row vector to every row (bias add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Self) -> Self {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (v, b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    /// Sums each column into a `1 × cols` row vector (bias gradient reduction).
+    pub fn sum_rows(&self) -> Self {
+        let mut out = Self::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(0, c)] += self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries; `0.0` for an empty matrix.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum entry; `f64::NEG_INFINITY` for an empty matrix.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum entry; `f64::INFINITY` for an empty matrix.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Index of the maximum entry in each row (`argmax` over columns),
+    /// the prediction rule for classification heads.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.iter_rows()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Extracts the sub-matrix made of the given row indices, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut out = Self::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// `true` when every entry is finite (no NaN/inf), used as a training
+    /// sanity check.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Elementwise approximate equality with mixed absolute/relative
+    /// tolerance `tol`. Shapes must match for `true`.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| crate::approx_eq(a, b, tol))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.add_scaled(rhs, 1.0);
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for row in self.iter_rows() {
+            write!(f, "  [")?;
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.6}")?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let id = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(id[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trips_indexing() {
+        let m = sample();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = sample();
+        assert_eq!(m.matmul(&Matrix::identity(3)), m);
+        assert_eq!(Matrix::identity(2).matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_mismatch() {
+        let _ = sample().matmul(&sample());
+    }
+
+    #[test]
+    fn hadamard_and_zip() {
+        let m = sample();
+        let sq = m.hadamard(&m);
+        assert_eq!(sq[(1, 2)], 36.0);
+    }
+
+    #[test]
+    fn add_sub_scale_ops() {
+        let m = sample();
+        let two = m.scale(2.0);
+        assert_eq!(&(&m + &m), &two);
+        assert_eq!((&two - &m), m);
+        assert_eq!((&m * 0.0), Matrix::zeros(2, 3));
+        assert_eq!((-&m).sum(), -m.sum());
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias() {
+        let m = sample();
+        let bias = Matrix::row_vector(&[10.0, 20.0, 30.0]);
+        let out = m.add_row_broadcast(&bias);
+        assert_eq!(out[(0, 0)], 11.0);
+        assert_eq!(out[(1, 2)], 36.0);
+    }
+
+    #[test]
+    fn sum_rows_reduces_batch() {
+        let m = sample();
+        assert_eq!(m.sum_rows(), Matrix::row_vector(&[5.0, 7.0, 9.0]));
+    }
+
+    #[test]
+    fn reductions() {
+        let m = sample();
+        assert_eq!(m.sum(), 21.0);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.max(), 6.0);
+        assert_eq!(m.min(), 1.0);
+        assert!((m.frobenius_norm() - (91.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let m = Matrix::from_rows(&[&[0.1, 0.9, 0.0], &[5.0, 1.0, 2.0]]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn select_rows_orders_and_repeats() {
+        let m = sample();
+        let s = m.select_rows(&[1, 1, 0]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), m.row(1));
+        assert_eq!(s.row(2), m.row(0));
+    }
+
+    #[test]
+    fn glorot_uniform_respects_limit() {
+        let mut rng = SeededRng::new(7);
+        let w = Matrix::glorot_uniform(10, 3, &mut rng);
+        let limit = (6.0 / 13.0f64).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+        assert_eq!(w.shape(), (10, 3));
+    }
+
+    #[test]
+    fn normal_has_roughly_correct_moments() {
+        let mut rng = SeededRng::new(11);
+        let m = Matrix::normal(100, 100, 2.0, 0.5, &mut rng);
+        assert!((m.mean() - 2.0).abs() < 0.02);
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - m.mean()).powi(2))
+            .sum::<f64>()
+            / m.len() as f64;
+        assert!((var.sqrt() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = sample();
+        assert!(m.all_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(format!("{}", sample()).contains("Matrix 2x3"));
+    }
+}

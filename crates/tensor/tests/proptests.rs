@@ -1,0 +1,120 @@
+//! Property-based tests of the linear-algebra kernel.
+
+use hqnn_tensor::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+/// Strategy producing a matrix of the given shape with entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy producing a shape in 1..=6 on both axes.
+fn shape() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=6, 1usize..=6)
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive((r, c) in shape(), seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let m = Matrix::uniform(r, c, -5.0, 5.0, &mut rng);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_left_right((r, c) in shape(), seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let m = Matrix::uniform(r, c, -5.0, 5.0, &mut rng);
+        prop_assert!(m.matmul(&Matrix::identity(c)).approx_eq(&m, 1e-12));
+        prop_assert!(Matrix::identity(r).matmul(&m).approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in matrix(3, 4),
+        b in matrix(4, 2),
+    ) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(3, 3),
+        b in matrix(3, 3),
+        c in matrix(3, 3),
+    ) {
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-8));
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in matrix(2, 3),
+        b in matrix(3, 4),
+        c in matrix(4, 2),
+    ) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-7));
+    }
+
+    #[test]
+    fn addition_commutes(a in matrix(4, 4), b in matrix(4, 4)) {
+        prop_assert!((&a + &b).approx_eq(&(&b + &a), 1e-12));
+    }
+
+    #[test]
+    fn hadamard_commutes(a in matrix(3, 5), b in matrix(3, 5)) {
+        prop_assert!(a.hadamard(&b).approx_eq(&b.hadamard(&a), 1e-12));
+    }
+
+    #[test]
+    fn scale_is_linear(a in matrix(3, 3), s in -4.0f64..4.0, t in -4.0f64..4.0) {
+        let lhs = a.scale(s + t);
+        let rhs = &a.scale(s) + &a.scale(t);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn sum_rows_preserves_total(a in matrix(5, 3)) {
+        prop_assert!(hqnn_tensor::approx_eq(a.sum_rows().sum(), a.sum(), 1e-9));
+    }
+
+    #[test]
+    fn frobenius_norm_nonnegative_and_zero_only_for_zero((r, c) in shape()) {
+        let z = Matrix::zeros(r, c);
+        prop_assert_eq!(z.frobenius_norm(), 0.0);
+        let mut nz = z.clone();
+        nz[(0, 0)] = 1.0;
+        prop_assert!(nz.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn select_rows_matches_manual(a in matrix(6, 3), i in 0usize..6, j in 0usize..6) {
+        let s = a.select_rows(&[i, j]);
+        prop_assert_eq!(s.row(0), a.row(i));
+        prop_assert_eq!(s.row(1), a.row(j));
+    }
+
+    #[test]
+    fn rng_split_streams_are_reproducible(seed in 0u64..10_000, salt in 0u64..64) {
+        let parent = SeededRng::new(seed);
+        let mut a = parent.split(salt);
+        let mut b = parent.split(salt);
+        for _ in 0..8 {
+            prop_assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn argmax_rows_within_bounds(a in matrix(4, 5)) {
+        for idx in a.argmax_rows() {
+            prop_assert!(idx < 5);
+        }
+    }
+}

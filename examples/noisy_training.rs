@@ -1,0 +1,84 @@
+//! Stress-testing the paper's idealisation: how well does the SEL hybrid
+//! hold up when its quantum layer runs under NISQ-style gate noise?
+//!
+//! The paper simulates ideal circuits and argues the observed advantage is
+//! "inherent to the quantum nature of the algorithms"; this example trains
+//! the same SEL(3,2) hybrid with a depolarizing gate-error channel of
+//! increasing strength and reports the accuracy it can still reach.
+//!
+//! ```sh
+//! cargo run -p hqnn-core --release --example noisy_training
+//! ```
+
+use hqnn_core::prelude::*;
+use hqnn_nn::SoftmaxCrossEntropy;
+
+fn main() {
+    let n_features = 6;
+    let mut rng = SeededRng::new(13);
+    let dataset = Dataset::spiral(&SpiralConfig::fast(n_features).with_samples(240), &mut rng);
+    let (train_set, val_set) = dataset.split(0.8, &mut rng);
+    let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
+    let x_val = standardizer.transform(val_set.features());
+    let template = QnnTemplate::new(3, 2, EntanglerKind::Strong);
+
+    println!(
+        "SEL(3,2) hybrid on a {n_features}-feature spiral ({} train / {} val samples)",
+        train_set.len(),
+        val_set.len()
+    );
+    println!();
+    println!(
+        "{:>22} {:>12} {:>12} {:>10}",
+        "gate error (depol. p)", "train acc", "val acc", "epochs"
+    );
+
+    for p in [0.0, 0.01, 0.05, 0.1, 0.2] {
+        let mut run_rng = rng.split((p * 1000.0) as u64);
+        let mut model = Sequential::new();
+        model.push(Dense::new(n_features, 3, &mut run_rng));
+        model.push(NoisyQuantumLayer::new(
+            template,
+            NoiseModel::depolarizing(p),
+            &mut run_rng,
+        ));
+        model.push(Dense::new(3, 3, &mut run_rng));
+
+        // Density-matrix simulation + parameter-shift is ~100× the ideal
+        // layer's cost, so train on a reduced budget.
+        let mut opt = Adam::new(0.02);
+        let loss_fn = SoftmaxCrossEntropy::new();
+        let targets = one_hot(train_set.labels(), 3);
+        let epochs = 20;
+        let mut order: Vec<usize> = (0..x_train.rows()).collect();
+        let mut best_train = 0.0f64;
+        let mut best_val = 0.0f64;
+        for _ in 0..epochs {
+            run_rng.shuffle(&mut order);
+            for chunk in order.chunks(16) {
+                let xb = x_train.select_rows(chunk);
+                let tb = targets.select_rows(chunk);
+                let logits = model.forward(&xb, true);
+                let (_, grad) = loss_fn.loss_and_grad(&logits, &tb);
+                model.backward(&grad);
+                model.apply_gradients(&mut opt);
+            }
+            best_train = best_train.max(accuracy(&model.predict(&x_train), train_set.labels()));
+            best_val = best_val.max(accuracy(&model.predict(&x_val), val_set.labels()));
+        }
+        println!(
+            "{:>22.2} {:>11.1}% {:>11.1}% {:>10}",
+            p,
+            100.0 * best_train,
+            100.0 * best_val,
+            epochs
+        );
+    }
+
+    println!();
+    println!(
+        "expected shape: accuracy degrades gracefully with gate error — mild noise\n\
+         (p ≤ 0.05) keeps the hybrid trainable, strong noise damps the quantum\n\
+         layer's outputs toward zero and learning stalls."
+    );
+}

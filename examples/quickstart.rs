@@ -1,0 +1,63 @@
+//! Quickstart: train a hybrid quantum–classical classifier on the spiral
+//! dataset and report the paper's two complexity metrics.
+//!
+//! ```sh
+//! cargo run -p hqnn-core --release --example quickstart
+//! ```
+
+use hqnn_core::prelude::*;
+
+fn main() {
+    // 1. Generate the paper's synthetic workload at a low complexity level
+    //    (10 features) — reduced sample count so this runs in seconds.
+    let mut rng = SeededRng::new(42);
+    let dataset = Dataset::spiral(&SpiralConfig::fast(10), &mut rng);
+    let (train_set, val_set) = dataset.split(0.8, &mut rng);
+    let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
+    let x_val = standardizer.transform(val_set.features());
+    println!(
+        "dataset: {} train / {} val samples, {} features, noise σ = {:.3}",
+        train_set.len(),
+        val_set.len(),
+        dataset.n_features(),
+        noise_level(dataset.n_features()),
+    );
+
+    // 2. Describe a hybrid model: Dense(10→3) → SEL(3 qubits, 2 layers) → Dense(3→3).
+    let spec = HybridSpec::new(10, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong));
+    let cost = CostModel::default();
+    let flops = spec.flops(&cost);
+    println!("model:   {}", spec.label());
+    println!(
+        "cost:    {} params | {} FLOPs/sample (CL {} + Enc {} + QL {})",
+        spec.param_count(),
+        flops.total(),
+        flops.classical,
+        flops.encoding,
+        flops.quantum,
+    );
+
+    // 3. Train with the paper's optimizer settings (Adam, lr = 0.001 — here
+    //    with fewer epochs than the paper's 100 to stay snappy).
+    let mut model = spec.build(&mut rng);
+    let mut optimizer = Adam::new(0.01);
+    let config = TrainConfig::fast().with_epochs(30);
+    let report = train(
+        &mut model,
+        &mut optimizer,
+        &x_train,
+        train_set.labels(),
+        &x_val,
+        val_set.labels(),
+        3,
+        &config,
+        &mut rng,
+    );
+
+    println!(
+        "trained: best train acc {:.1}% | best val acc {:.1}% ({} epochs)",
+        100.0 * report.best_train_accuracy,
+        100.0 * report.best_val_accuracy,
+        report.epochs_run,
+    );
+}

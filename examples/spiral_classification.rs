@@ -1,0 +1,75 @@
+//! Classical vs hybrid (BEL and SEL) head-to-head on one spiral instance —
+//! a single-complexity-level slice of the paper's comparison.
+//!
+//! ```sh
+//! cargo run -p hqnn-core --release --example spiral_classification
+//! ```
+
+use hqnn_core::prelude::*;
+
+struct Contender {
+    spec: ModelSpec,
+    report: TrainReport,
+}
+
+fn main() {
+    let n_features = 10;
+    let mut rng = SeededRng::new(7);
+    let dataset = Dataset::spiral(&SpiralConfig::fast(n_features), &mut rng);
+    let (train_set, val_set) = dataset.split(0.8, &mut rng);
+    let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
+    let x_val = standardizer.transform(val_set.features());
+    let cost = CostModel::default();
+
+    let specs: Vec<ModelSpec> = vec![
+        ClassicalSpec::new(n_features, vec![8, 6], 3).into(),
+        HybridSpec::new(n_features, 3, QnnTemplate::new(3, 2, EntanglerKind::Basic)).into(),
+        HybridSpec::new(n_features, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong)).into(),
+    ];
+
+    println!("spiral @ {n_features} features, noise σ = {:.3}", noise_level(n_features));
+    println!();
+    println!(
+        "{:<18} {:>8} {:>10} {:>12} {:>12}",
+        "model", "params", "FLOPs", "train acc", "val acc"
+    );
+
+    let mut results = Vec::new();
+    for spec in specs {
+        let mut run_rng = rng.split(results.len() as u64);
+        let mut model = spec.build(&mut run_rng);
+        let mut optimizer = Adam::new(0.01);
+        let config = TrainConfig::fast().with_epochs(40);
+        let report = train(
+            &mut model,
+            &mut optimizer,
+            &x_train,
+            train_set.labels(),
+            &x_val,
+            val_set.labels(),
+            3,
+            &config,
+            &mut run_rng,
+        );
+        println!(
+            "{:<18} {:>8} {:>10} {:>11.1}% {:>11.1}%",
+            spec.label(),
+            spec.param_count(),
+            spec.flops(&cost).total(),
+            100.0 * report.best_train_accuracy,
+            100.0 * report.best_val_accuracy,
+        );
+        results.push(Contender { spec, report });
+    }
+
+    println!();
+    let best = results
+        .iter()
+        .max_by(|a, b| a.report.best_val_accuracy.total_cmp(&b.report.best_val_accuracy))
+        .expect("at least one contender");
+    println!(
+        "best validation accuracy: {} at {:.1}%",
+        best.spec.label(),
+        100.0 * best.report.best_val_accuracy
+    );
+}

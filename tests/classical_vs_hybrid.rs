@@ -1,0 +1,144 @@
+//! Comparative invariants between classical and hybrid models — the
+//! structural facts behind the paper's Figures 9–10 and Table I, asserted
+//! analytically (no training required).
+
+use hqnn_core::prelude::*;
+
+fn sel(features: usize) -> HybridSpec {
+    HybridSpec::new(features, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong))
+}
+
+fn bel(features: usize, qubits: usize, depth: usize) -> HybridSpec {
+    HybridSpec::new(features, 3, QnnTemplate::new(qubits, depth, EntanglerKind::Basic))
+}
+
+#[test]
+fn sel_flops_growth_rate_is_below_classical_when_classical_grows() {
+    // Classical networks that need to grow (more/wider layers) to follow
+    // problem complexity increase their FLOPs faster than an SEL hybrid
+    // whose quantum layer never changes — the Fig. 10(a) shape.
+    let cost = CostModel::default();
+    let classical_lo = ClassicalSpec::new(10, vec![6], 3).flops(&cost).total();
+    let classical_hi = ClassicalSpec::new(110, vec![10, 8], 3).flops(&cost).total();
+    let sel_lo = sel(10).flops(&cost).total();
+    let sel_hi = sel(110).flops(&cost).total();
+
+    let classical_rate = (classical_hi as f64 - classical_lo as f64) / classical_lo as f64;
+    let sel_rate = (sel_hi as f64 - sel_lo as f64) / sel_lo as f64;
+    assert!(
+        sel_rate < classical_rate,
+        "SEL rate {sel_rate:.2} ≥ classical rate {classical_rate:.2}"
+    );
+}
+
+#[test]
+fn sel_hybrid_beats_growing_classical_at_high_complexity() {
+    // At 110 features, a classical model that had to grow past ~2 hidden
+    // layers costs more FLOPs than the fixed SEL hybrid — the crossover the
+    // paper's abstract reports (~7.5% fewer FLOPs; our costing shows the
+    // same direction).
+    let cost = CostModel::default();
+    let classical = ClassicalSpec::new(110, vec![10, 8], 3).flops(&cost).total();
+    let hybrid = sel(110).flops(&cost).total();
+    assert!(
+        hybrid < classical,
+        "SEL hybrid {hybrid} ≥ classical {classical} at 110 features"
+    );
+}
+
+#[test]
+fn hybrid_parameter_counts_are_below_classical_counterparts() {
+    // Fig. 9: hybrids need fewer trainable parameters at every level,
+    // because the quantum layer replaces wide hidden layers.
+    for features in [10usize, 40, 80, 110] {
+        let classical = ClassicalSpec::new(features, vec![8, 6], 3).param_count();
+        let hybrid = sel(features).param_count();
+        assert!(
+            hybrid < classical,
+            "at {features} features: hybrid {hybrid} ≥ classical {classical}"
+        );
+    }
+}
+
+#[test]
+fn sel_parameter_growth_comes_only_from_the_input_layer() {
+    // Fig. 9 bottom panel: SEL param growth across complexity levels is
+    // exactly the input layer's growth (the quantum layer is unchanged).
+    let p10 = sel(10).param_count();
+    let p110 = sel(110).param_count();
+    // Input layer grows by (110−10) features × 3 qubits weights.
+    assert_eq!(p110 - p10, 100 * 3);
+}
+
+#[test]
+fn bel_needs_architecture_growth_but_sel_does_not() {
+    // Table I: BEL escalates (3,2) → (3,4) → (4,4) as features grow; its QL
+    // FLOPs grow accordingly, while SEL's stay flat.
+    let cost = CostModel::default();
+    let bel_ql_low = bel(10, 3, 2).flops(&cost).quantum;
+    let bel_ql_mid = bel(80, 3, 4).flops(&cost).quantum;
+    let bel_ql_high = bel(110, 4, 4).flops(&cost).quantum;
+    assert!(bel_ql_low < bel_ql_mid);
+    assert!(bel_ql_mid < bel_ql_high);
+
+    let sel_ql_low = sel(10).flops(&cost).quantum;
+    let sel_ql_high = sel(110).flops(&cost).quantum;
+    assert_eq!(sel_ql_low, sel_ql_high);
+}
+
+#[test]
+fn encoding_cost_tracks_qubit_count_not_feature_count() {
+    // Table I Enc column: 466 for every 3-qubit row, 1132 for the 4-qubit
+    // row — encoding cost is a function of qubits, not features.
+    let cost = CostModel::default();
+    let enc_3q_10f = bel(10, 3, 2).flops(&cost).encoding;
+    let enc_3q_80f = bel(80, 3, 4).flops(&cost).encoding;
+    let enc_4q_110f = bel(110, 4, 4).flops(&cost).encoding;
+    assert_eq!(enc_3q_10f, enc_3q_80f);
+    assert!(enc_4q_110f > enc_3q_10f);
+}
+
+#[test]
+fn classical_flops_dominate_hybrid_totals_at_high_feature_counts() {
+    // Table I at 110 features: the classical + encoding share is the
+    // majority of an SEL hybrid's total cost.
+    let cost = CostModel::default();
+    let f = sel(110).flops(&cost);
+    assert!(
+        f.classical + f.encoding > f.quantum,
+        "CL+Enc = {} ≤ QL = {}",
+        f.classical + f.encoding,
+        f.quantum
+    );
+}
+
+#[test]
+fn sel_is_more_expressive_per_layer_than_bel() {
+    // 3 rotations per qubit per layer vs 1 — the structural reason the
+    // paper gives for SEL's robustness to problem complexity.
+    for qubits in 2..=5 {
+        assert_eq!(
+            EntanglerKind::Strong.params_per_layer(qubits),
+            3 * EntanglerKind::Basic.params_per_layer(qubits)
+        );
+    }
+}
+
+#[test]
+fn paper_table_one_hybrid_configs_price_consistently() {
+    // The four BEL rows and four SEL rows of Table I, priced by our model:
+    // totals must be strictly increasing down each block, like the paper's.
+    let cost = CostModel::default();
+    let bel_rows = [
+        bel(10, 3, 2),
+        bel(40, 3, 2),
+        bel(80, 3, 4),
+        bel(110, 4, 4),
+    ];
+    let totals: Vec<u64> = bel_rows.iter().map(|s| s.flops(&cost).total()).collect();
+    assert!(totals.windows(2).all(|w| w[0] < w[1]), "{totals:?}");
+
+    let sel_rows = [sel(10), sel(40), sel(80), sel(110)];
+    let totals: Vec<u64> = sel_rows.iter().map(|s| s.flops(&cost).total()).collect();
+    assert!(totals.windows(2).all(|w| w[0] < w[1]), "{totals:?}");
+}

@@ -1,0 +1,133 @@
+//! End-to-end pipeline tests spanning every crate: dataset → standardise →
+//! build model from spec → train → evaluate → price with the cost model.
+
+use hqnn_core::prelude::*;
+
+/// Generates, splits and standardises a small spiral instance.
+fn prepared(
+    n_features: usize,
+    seed: u64,
+) -> (Matrix, Vec<usize>, Matrix, Vec<usize>, SeededRng) {
+    let mut rng = SeededRng::new(seed);
+    let config = SpiralConfig::fast(n_features).with_samples(300);
+    let dataset = Dataset::spiral(&config, &mut rng);
+    let (train_set, val_set) = dataset.split(0.8, &mut rng);
+    let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
+    let x_val = standardizer.transform(val_set.features());
+    (
+        x_train,
+        train_set.labels().to_vec(),
+        x_val,
+        val_set.labels().to_vec(),
+        rng,
+    )
+}
+
+fn run(spec: &ModelSpec, epochs: usize, seed: u64) -> TrainReport {
+    let (x_train, y_train, x_val, y_val, mut rng) = prepared(spec.n_features(), seed);
+    let mut model = spec.build(&mut rng);
+    let mut opt = Adam::new(0.01);
+    let config = TrainConfig::fast().with_epochs(epochs);
+    train(
+        &mut model, &mut opt, &x_train, &y_train, &x_val, &y_val, 3, &config, &mut rng,
+    )
+}
+
+#[test]
+fn classical_model_learns_the_spiral() {
+    let spec: ModelSpec = ClassicalSpec::new(4, vec![10, 8], 3).into();
+    let report = run(&spec, 60, 1);
+    assert!(
+        report.best_train_accuracy > 0.8,
+        "classical model underfits: {report:?}"
+    );
+    assert!(report.best_val_accuracy > 0.7, "{report:?}");
+}
+
+#[test]
+fn hybrid_sel_model_learns_the_spiral() {
+    let spec: ModelSpec =
+        HybridSpec::new(4, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong)).into();
+    let report = run(&spec, 60, 2);
+    assert!(
+        report.best_train_accuracy > 0.75,
+        "SEL hybrid underfits: {report:?}"
+    );
+    assert!(report.best_val_accuracy > 0.65, "{report:?}");
+}
+
+#[test]
+fn hybrid_bel_model_trains_without_diverging() {
+    let spec: ModelSpec =
+        HybridSpec::new(4, 3, QnnTemplate::new(3, 2, EntanglerKind::Basic)).into();
+    let report = run(&spec, 40, 3);
+    assert!(report.final_train_loss.is_finite());
+    assert!(report.best_train_accuracy > 0.5, "{report:?}");
+}
+
+#[test]
+fn training_improves_over_initialisation() {
+    let spec: ModelSpec = ClassicalSpec::new(6, vec![8], 3).into();
+    let (x_train, y_train, _x_val, _y_val, mut rng) = prepared(6, 4);
+    let mut model = spec.build(&mut rng);
+    let initial = accuracy(&model.predict(&x_train), &y_train);
+    let mut opt = Adam::new(0.01);
+    let config = TrainConfig::fast().with_epochs(30);
+    let report = train(
+        &mut model,
+        &mut opt,
+        &x_train,
+        &y_train,
+        &Matrix::zeros(0, 6),
+        &[],
+        3,
+        &config,
+        &mut rng,
+    );
+    assert!(
+        report.best_train_accuracy > initial + 0.15,
+        "no learning: {initial} → {}",
+        report.best_train_accuracy
+    );
+}
+
+#[test]
+fn flops_pricing_is_consistent_with_built_models() {
+    let cost = CostModel::default();
+    let specs: Vec<ModelSpec> = vec![
+        ClassicalSpec::new(20, vec![8, 4], 3).into(),
+        HybridSpec::new(20, 3, QnnTemplate::new(4, 3, EntanglerKind::Basic)).into(),
+        HybridSpec::new(20, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong)).into(),
+    ];
+    let mut rng = SeededRng::new(9);
+    for spec in specs {
+        let model = spec.build(&mut rng);
+        assert_eq!(model.param_count(), spec.param_count(), "{}", spec.label());
+        assert!(spec.flops(&cost).total() > 0);
+    }
+}
+
+#[test]
+fn quantum_layer_gradients_survive_full_pipeline() {
+    // Train one step, then verify the loss actually decreases along the
+    // negative gradient direction (a first-order sanity check through the
+    // entire hybrid stack).
+    let (x_train, y_train, _xv, _yv, mut rng) = prepared(4, 5);
+    let spec = HybridSpec::new(4, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong));
+    let mut model = spec.build(&mut rng);
+    let loss_fn = hqnn_nn::SoftmaxCrossEntropy::new();
+    let targets = one_hot(&y_train, 3);
+
+    let logits = model.forward(&x_train, true);
+    let (before, grad) = loss_fn.loss_and_grad(&logits, &targets);
+    model.backward(&grad);
+    let mut opt = Sgd::new(0.05);
+    model.apply_gradients(&mut opt);
+
+    let logits = model.forward(&x_train, true);
+    let (after, _) = loss_fn.loss_and_grad(&logits, &targets);
+    assert!(
+        after < before,
+        "SGD step along gradient increased loss: {before} → {after}"
+    );
+}

@@ -1,0 +1,155 @@
+//! Integration tests of the extension modules working together: alternative
+//! datasets → hybrid training → confusion-matrix evaluation, shot-based
+//! readout vs analytic expectations, and noisy layers in full models.
+
+use hqnn_core::prelude::*;
+use hqnn_data::synthetic::{circles, gaussian_blobs, two_moons, xor};
+use hqnn_nn::ConfusionMatrix;
+use hqnn_qsim::measurement::{sample_density, sample_state};
+
+#[test]
+fn hybrid_model_solves_two_moons() {
+    let mut rng = SeededRng::new(31);
+    let ds = two_moons(300, 0.1, &mut rng);
+    let (train_set, val_set) = ds.split(0.8, &mut rng);
+    let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
+    let x_val = standardizer.transform(val_set.features());
+
+    let spec = HybridSpec::new(2, 2, QnnTemplate::new(2, 2, EntanglerKind::Strong));
+    let mut model = spec.build(&mut rng);
+    let mut opt = Adam::new(0.02);
+    let config = TrainConfig::fast().with_epochs(50);
+    let report = train(
+        &mut model,
+        &mut opt,
+        &x_train,
+        train_set.labels(),
+        &x_val,
+        val_set.labels(),
+        2,
+        &config,
+        &mut rng,
+    );
+    assert!(
+        report.best_val_accuracy >= 0.88,
+        "hybrid failed two moons: {report:?}"
+    );
+
+    // Confusion matrix of the final model is consistent with accuracy.
+    let logits = model.predict(&x_val);
+    let cm = ConfusionMatrix::from_logits(&logits, val_set.labels(), 2);
+    assert!((cm.accuracy() - accuracy(&logits, val_set.labels())).abs() < 1e-12);
+    assert!(cm.macro_f1() > 0.7);
+}
+
+#[test]
+fn classical_model_solves_circles_and_blobs() {
+    for (name, ds) in [
+        ("circles", circles(240, 0.45, 0.05, &mut SeededRng::new(5))),
+        ("blobs", gaussian_blobs(240, 3, 0.15, &mut SeededRng::new(6))),
+    ] {
+        let mut rng = SeededRng::new(7);
+        let (train_set, val_set) = ds.split(0.8, &mut rng);
+        let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
+        let x_val = standardizer.transform(val_set.features());
+        let spec = ClassicalSpec::new(2, vec![8], ds.n_classes());
+        let mut model = spec.build(&mut rng);
+        let mut opt = Adam::new(0.02);
+        let config = TrainConfig::fast().with_epochs(40);
+        let report = train(
+            &mut model,
+            &mut opt,
+            &x_train,
+            train_set.labels(),
+            &x_val,
+            val_set.labels(),
+            ds.n_classes(),
+            &config,
+            &mut rng,
+        );
+        assert!(
+            report.best_val_accuracy > 0.9,
+            "{name} not solved: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn xor_needs_nonlinearity() {
+    // A linear classifier cannot beat chance by much on XOR; one hidden
+    // layer cracks it — the textbook sanity check of the whole stack.
+    let mut rng = SeededRng::new(17);
+    let ds = xor(320, 0.15, &mut rng);
+    let (train_set, val_set) = ds.split(0.8, &mut rng);
+    let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
+    let x_val = standardizer.transform(val_set.features());
+    let run = |hidden: Vec<usize>, rng: &mut SeededRng| {
+        let spec = ClassicalSpec::new(2, hidden, 2);
+        let mut model = spec.build(rng);
+        let mut opt = Adam::new(0.02);
+        let config = TrainConfig::fast().with_epochs(40);
+        train(
+            &mut model,
+            &mut opt,
+            &x_train,
+            train_set.labels(),
+            &x_val,
+            val_set.labels(),
+            2,
+            &config,
+            rng,
+        )
+        .best_train_accuracy
+    };
+    // Judge on training accuracy over the full train split. The best
+    // linear boundary on 4-cluster XOR gets exactly 3 of the 4 clusters
+    // right (75%); a hidden layer should clear 90%.
+    let linear = run(vec![], &mut rng);
+    let nonlinear = run(vec![8], &mut rng);
+    assert!(linear <= 0.78, "linear model beat the XOR ceiling: {linear}");
+    assert!(nonlinear > 0.9, "MLP should crack XOR, got {nonlinear}");
+}
+
+#[test]
+fn shot_estimates_agree_with_quantum_layer_outputs() {
+    // The analytic ⟨Z⟩ readouts of the quantum layer must match shot-based
+    // estimates of the same circuit within statistical error.
+    let mut rng = SeededRng::new(41);
+    let template = QnnTemplate::new(3, 2, EntanglerKind::Strong);
+    let mut layer = QuantumLayer::new(template, &mut rng);
+    let x = Matrix::uniform(1, 3, -1.0, 1.0, &mut rng);
+    let analytic = hqnn_nn::Layer::forward(&mut layer, &x, false);
+
+    let state = layer.circuit().run(x.row(0), layer.params().as_slice());
+    let shots = sample_state(&state, 100_000, &mut rng);
+    for wire in 0..3 {
+        let err = shots.standard_error_z(wire).max(1e-3);
+        assert!(
+            (shots.expectation_z(wire) - analytic[(0, wire)]).abs() < 5.0 * err,
+            "wire {wire}: shots {} vs analytic {}",
+            shots.expectation_z(wire),
+            analytic[(0, wire)]
+        );
+    }
+}
+
+#[test]
+fn noisy_density_sampling_is_consistent_with_noisy_layer() {
+    let mut rng = SeededRng::new(43);
+    let template = QnnTemplate::new(2, 1, EntanglerKind::Basic);
+    let noise = NoiseModel::depolarizing(0.1);
+    let mut layer = NoisyQuantumLayer::new(template, noise.clone(), &mut rng);
+    let x = Matrix::uniform(1, 2, -1.0, 1.0, &mut rng);
+    let analytic = hqnn_nn::Layer::forward(&mut layer, &x, false);
+
+    let circuit = template.build();
+    let rho = DensityMatrix::run_noisy(&circuit, x.row(0), layer.params().as_slice(), &noise);
+    let shots = sample_density(&rho, 100_000, &mut rng);
+    for wire in 0..2 {
+        let err = shots.standard_error_z(wire).max(1e-3);
+        assert!(
+            (shots.expectation_z(wire) - analytic[(0, wire)]).abs() < 5.0 * err,
+            "wire {wire}"
+        );
+    }
+}
