@@ -1,0 +1,37 @@
+# Convenience targets for the hqnn workspace.
+
+CARGO ?= cargo
+PROFILE_DIR ?= experiment-results
+
+.PHONY: build test repro profile smoke fmt clippy clean
+
+build:
+	$(CARGO) build --release --workspace
+
+test:
+	$(CARGO) test -q --workspace
+
+# Full fast-profile reproduction (tables + cached study).
+repro:
+	$(CARGO) run -p hqnn-bench --release --bin repro
+
+# Profiled reproduction: span-tree profile on stderr (HQNN_LOG=debug shows
+# every span/counter event) and a machine-readable JSONL trace on disk.
+profile:
+	$(CARGO) run -p hqnn-bench --release --bin repro -- \
+		--log-json $(PROFILE_DIR)/repro-trace.jsonl
+	@echo "telemetry trace written to $(PROFILE_DIR)/repro-trace.jsonl"
+
+# Seconds-scale end-to-end check (used by CI).
+smoke:
+	$(CARGO) run -p hqnn-bench --release --bin repro -- --smoke --fresh \
+		--cache /tmp/hqnn-smoke --log-json /tmp/hqnn-smoke.jsonl
+
+fmt:
+	$(CARGO) fmt --all
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets
+
+clean:
+	$(CARGO) clean

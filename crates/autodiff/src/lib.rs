@@ -169,7 +169,9 @@ impl Graph {
 
     /// Records a broadcast bias addition: `bias` must be `1 × cols(a)`.
     pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
-        let value = self.nodes[a.0].value.add_row_broadcast(&self.nodes[bias.0].value);
+        let value = self.nodes[a.0]
+            .value
+            .add_row_broadcast(&self.nodes[bias.0].value);
         self.record(value, OpKind::AddBias(a, bias))
     }
 
@@ -211,7 +213,11 @@ impl Graph {
     /// Panics if shapes disagree.
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &Matrix) -> Var {
         let z = &self.nodes[logits.0].value;
-        assert_eq!(z.shape(), targets.shape(), "targets must match logits shape");
+        assert_eq!(
+            z.shape(),
+            targets.shape(),
+            "targets must match logits shape"
+        );
         let batch = z.rows();
         let mut softmax = Matrix::zeros(z.rows(), z.cols());
         let mut loss = 0.0;
@@ -252,6 +258,8 @@ impl Graph {
             (1, 1),
             "backward() needs a scalar output"
         );
+        let _span = hqnn_telemetry::span("autodiff.backward");
+        hqnn_telemetry::counter("autodiff.backward_passes", 1);
         for node in &mut self.nodes {
             node.grad.map_inplace(|_| 0.0);
         }
@@ -294,7 +302,9 @@ impl Graph {
                     self.nodes[bias.0].grad += &db;
                 }
                 OpKind::Relu(a) => {
-                    let mask = self.nodes[a.0].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    let mask = self.nodes[a.0]
+                        .value
+                        .map(|v| if v > 0.0 { 1.0 } else { 0.0 });
                     let da = grad.hadamard(&mask);
                     self.nodes[a.0].grad += &da;
                 }
@@ -312,12 +322,16 @@ impl Graph {
                 OpKind::Sum(a) => {
                     let g = grad[(0, 0)];
                     let (r, c) = self.nodes[a.0].value.shape();
-                    self.nodes[a.0].grad.add_scaled(&Matrix::filled(r, c, 1.0), g);
+                    self.nodes[a.0]
+                        .grad
+                        .add_scaled(&Matrix::filled(r, c, 1.0), g);
                 }
                 OpKind::Mean(a) => {
                     let (r, c) = self.nodes[a.0].value.shape();
                     let g = grad[(0, 0)] / (r * c) as f64;
-                    self.nodes[a.0].grad.add_scaled(&Matrix::filled(r, c, 1.0), g);
+                    self.nodes[a.0]
+                        .grad
+                        .add_scaled(&Matrix::filled(r, c, 1.0), g);
                 }
                 OpKind::SoftmaxCrossEntropy {
                     logits,

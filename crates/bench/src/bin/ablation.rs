@@ -13,14 +13,17 @@
 //! cargo run -p hqnn-bench --release --bin ablation
 //! ```
 
+use hqnn_bench::Cli;
 use hqnn_core::prelude::*;
 use hqnn_qsim::metrics::expressibility;
 
 fn main() {
+    let cli = Cli::parse();
     convention_ablation();
     gradient_engine_ablation();
     expressibility_ablation();
     noise_ablation();
+    cli.finish();
 }
 
 fn convention_ablation() {
@@ -81,9 +84,18 @@ fn expressibility_ablation() {
     println!("{:<10} {:>10} {:>10}", "shape", "BEL", "SEL");
     for (q, d) in [(3usize, 1usize), (3, 2), (4, 2)] {
         let mut rng = SeededRng::new(77);
-        let bel = expressibility(&QnnTemplate::new(q, d, EntanglerKind::Basic), 4000, 20, &mut rng);
-        let sel =
-            expressibility(&QnnTemplate::new(q, d, EntanglerKind::Strong), 4000, 20, &mut rng);
+        let bel = expressibility(
+            &QnnTemplate::new(q, d, EntanglerKind::Basic),
+            4000,
+            20,
+            &mut rng,
+        );
+        let sel = expressibility(
+            &QnnTemplate::new(q, d, EntanglerKind::Strong),
+            4000,
+            20,
+            &mut rng,
+        );
         println!("({q},{d})      {bel:>10.4} {sel:>10.4}");
     }
     println!(
@@ -101,14 +113,13 @@ fn noise_ablation() {
         .map(|_| rng.uniform(0.0, std::f64::consts::TAU))
         .collect();
     let inputs = [0.4, -0.8, 1.2];
-    println!("{:>10} {:>12} {:>12} {:>12} {:>10}", "p", "⟨Z₀⟩", "⟨Z₁⟩", "⟨Z₂⟩", "purity");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10}",
+        "p", "⟨Z₀⟩", "⟨Z₁⟩", "⟨Z₂⟩", "purity"
+    );
     for p in [0.0, 0.01, 0.05, 0.1, 0.3] {
-        let rho = DensityMatrix::run_noisy(
-            &circuit,
-            &inputs,
-            &params,
-            &NoiseModel::depolarizing(p),
-        );
+        let rho =
+            DensityMatrix::run_noisy(&circuit, &inputs, &params, &NoiseModel::depolarizing(p));
         println!(
             "{p:>10.2} {:>12.4} {:>12.4} {:>12.4} {:>10.4}",
             rho.expectation_z(0),

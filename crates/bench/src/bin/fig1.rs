@@ -7,9 +7,11 @@
 //! cargo run -p hqnn-bench --release --bin fig1
 //! ```
 
+use hqnn_bench::Cli;
 use hqnn_core::prelude::*;
 
 fn main() {
+    let cli = Cli::parse();
     let n_features = 10;
     let cost = CostModel::default();
     let mut rng = SeededRng::new(1);
@@ -60,6 +62,10 @@ fn main() {
     for (label, model) in [("(a)", model_a), ("(b)", model_b), ("(c)", model_c)] {
         let mut model = model;
         let out = model.forward(&x, false);
-        println!("{label} forward pass: input (2, {n_features}) → logits {:?}", out.shape());
+        println!(
+            "{label} forward pass: input (2, {n_features}) → logits {:?}",
+            out.shape()
+        );
     }
+    cli.finish();
 }

@@ -7,7 +7,7 @@
 //! cargo run -p hqnn-bench --release --bin fig10 -- --paper # full protocol
 //! ```
 
-use hqnn_bench::{ensure_family, Cli};
+use hqnn_bench::{ensure_family, write_artifact, Cli};
 use hqnn_search::experiments::Family;
 use hqnn_search::report;
 
@@ -22,14 +22,11 @@ fn main() {
         cli.save_study(&study);
     }
     let csv_path = cli.study_path().with_extension("csv");
-    if let Err(e) = std::fs::write(&csv_path, report::winners_csv(&study)) {
-        eprintln!("warning: could not write {csv_path:?}: {e}");
-    } else {
-        eprintln!("(winners exported to {csv_path:?})");
-    }
+    write_artifact(&csv_path, &report::winners_csv(&study));
     println!("{}", report::comparative_table(&study));
     println!(
         "\nshape to reproduce: hybrid (especially SEL) rates of increase sit below the\n\
          classical rate on both metrics, with hybrid parameter counts below classical."
     );
+    cli.finish();
 }

@@ -5,6 +5,7 @@
 //! cargo run -p hqnn-bench --release --bin fig4
 //! ```
 
+use hqnn_bench::Cli;
 use hqnn_data::{complexity_levels, noise_level, Dataset, SpiralConfig};
 use hqnn_tensor::SeededRng;
 
@@ -12,6 +13,7 @@ const WIDTH: usize = 64;
 const HEIGHT: usize = 28;
 
 fn main() {
+    let cli = Cli::parse();
     let mut rng = SeededRng::new(4);
     let dataset = Dataset::spiral(&SpiralConfig::paper(10), &mut rng);
 
@@ -19,11 +21,7 @@ fn main() {
     println!();
     let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
     let marks = ['o', '+', 'x'];
-    for (row, &label) in dataset
-        .features()
-        .iter_rows()
-        .zip(dataset.labels())
-    {
+    for (row, &label) in dataset.features().iter_rows().zip(dataset.labels()) {
         let (x, y) = (row[0], row[1]);
         let cx = (((x + 1.3) / 2.6) * (WIDTH as f64 - 1.0)).round();
         let cy = (((1.3 - y) / 2.6) * (HEIGHT as f64 - 1.0)).round();
@@ -39,7 +37,10 @@ fn main() {
 
     println!("Fig. 4(b): the problem-complexity schedule");
     println!();
-    println!("{:>10} {:>12} {:>16}", "features", "noise σ", "derived dims");
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "features", "noise σ", "derived dims"
+    );
     for features in complexity_levels() {
         println!(
             "{features:>10} {:>12.3} {:>16}",
@@ -52,4 +53,5 @@ fn main() {
         "per-class counts at 10 features: {:?} (balanced by construction)",
         dataset.class_counts()
     );
+    cli.finish();
 }

@@ -5,19 +5,25 @@
 //! cargo run -p hqnn-bench --release --bin fig5
 //! ```
 
+use hqnn_bench::Cli;
 use hqnn_qsim::render::render_ascii;
 use hqnn_qsim::{EntanglerKind, QnnTemplate};
 
 fn main() {
-    for (panel, kind) in [("(a) Strongly Entangling Layer (SEL)", EntanglerKind::Strong),
-                          ("(b) Basic Entangler Layer (BEL)", EntanglerKind::Basic)] {
+    let cli = Cli::parse();
+    for (panel, kind) in [
+        ("(a) Strongly Entangling Layer (SEL)", EntanglerKind::Strong),
+        ("(b) Basic Entangler Layer (BEL)", EntanglerKind::Basic),
+    ] {
         let template = QnnTemplate::new(3, 2, kind);
-        println!("Fig. 5{panel} — {}, {} trainable parameters", template.label(), template.param_count());
+        println!(
+            "Fig. 5{panel} — {}, {} trainable parameters",
+            template.label(),
+            template.param_count()
+        );
         println!();
         println!("{}", render_ascii(&template.build()));
-        println!(
-            "  x0..x2 = angle-encoded inputs; θi = trainable rotations; ● = CNOT control\n"
-        );
+        println!("  x0..x2 = angle-encoded inputs; θi = trainable rotations; ● = CNOT control\n");
     }
     println!(
         "SEL applies a full Rot(φ,θ,ω) = RZ·RY·RZ per qubit per layer (3 parameters)\n\
@@ -25,4 +31,5 @@ fn main() {
          nearest-neighbour CNOT ring — the expressiveness gap behind the paper's\n\
          central result (quantified by the `expressibility` example)."
     );
+    cli.finish();
 }

@@ -20,4 +20,5 @@ fn main() {
     println!(
         "paper reference: classical FLOPs rise ≈ +88.5% (absolute +3285) from 10 to 110 features."
     );
+    cli.finish();
 }

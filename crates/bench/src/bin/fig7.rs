@@ -16,9 +16,13 @@ fn main() {
     if ensure_family(&mut study, Family::HybridBel) {
         cli.save_study(&study);
     }
-    println!("{}", report::scaling_table("hybrid (BEL)", &study.hybrid_bel));
+    println!(
+        "{}",
+        report::scaling_table("hybrid (BEL)", &study.hybrid_bel)
+    );
     println!(
         "paper reference: BEL hybrids keep (3 qubits, 2 layers) up to ~40 features, then grow;\n\
          FLOPs rise ≈ +80.1% (absolute +3941.6) from 10 to 110 features."
     );
+    cli.finish();
 }

@@ -16,10 +16,14 @@ fn main() {
     if ensure_family(&mut study, Family::HybridSel) {
         cli.save_study(&study);
     }
-    println!("{}", report::scaling_table("hybrid (SEL)", &study.hybrid_sel));
+    println!(
+        "{}",
+        report::scaling_table("hybrid (SEL)", &study.hybrid_sel)
+    );
     println!(
         "paper reference: the SEL hybrid stays at (3 qubits, 2 layers) across *all* feature\n\
          sizes; FLOPs rise only ≈ +53.1% (absolute +1800) from 10 to 110 features, driven\n\
          entirely by the classical input layer."
     );
+    cli.finish();
 }

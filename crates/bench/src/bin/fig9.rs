@@ -26,4 +26,5 @@ fn main() {
          features; BEL +441 (+89.6%); SEL only +276 (+81.4%), with hybrids below classical\n\
          at every level."
     );
+    cli.finish();
 }

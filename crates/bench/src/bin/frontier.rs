@@ -29,16 +29,29 @@ fn main() {
 
     for (name, space) in [
         ("classical", classical_space(n_features, 3)),
-        ("hybrid (BEL)", hybrid_space(n_features, 3, EntanglerKind::Basic)),
-        ("hybrid (SEL)", hybrid_space(n_features, 3, EntanglerKind::Strong)),
+        (
+            "hybrid (BEL)",
+            hybrid_space(n_features, 3, EntanglerKind::Basic),
+        ),
+        (
+            "hybrid (SEL)",
+            hybrid_space(n_features, 3, EntanglerKind::Strong),
+        ),
     ] {
-        eprintln!("evaluating {name} space ({} combos)…", space.len());
+        hqnn_telemetry::event(
+            hqnn_telemetry::Level::Info,
+            "frontier.space_start",
+            &[("family", name.into()), ("combos", space.len().into())],
+        );
         let outcomes = accuracy_frontier(&space, n_features, &config.search, &cost, &mut |o| {
-            eprintln!(
-                "  {:<18} {:>8} FLOPs  val {:>5.1}%",
-                o.spec.label(),
-                o.flops.total(),
-                100.0 * o.avg_val_accuracy
+            hqnn_telemetry::event(
+                hqnn_telemetry::Level::Info,
+                "frontier.combo",
+                &[
+                    ("model", o.spec.label().into()),
+                    ("flops", o.flops.total().into()),
+                    ("val_acc", o.avg_val_accuracy.into()),
+                ],
             );
         });
         println!("Pareto front — {name}:");
@@ -61,4 +74,5 @@ fn main() {
         "reading: each front shows the cheapest model achieving each accuracy level;\n\
          the paper's protocol picks the first front member above the 90% bar."
     );
+    cli.finish();
 }

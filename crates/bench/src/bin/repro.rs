@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-use hqnn_bench::{ensure_family, Cli};
+use hqnn_bench::{ensure_family, write_artifact, Cli};
 use hqnn_search::experiments::{table_one_from_study, table_one_paper_combos, Family};
 use hqnn_search::report;
 
@@ -35,11 +35,31 @@ fn main() {
         study.config.levels,
         study.config.search.dataset_samples,
     );
-    let _ = writeln!(md, "## Fig. 6 — classical\n\n```\n{}```\n", report::scaling_table("classical", &study.classical));
-    let _ = writeln!(md, "## Fig. 7 — hybrid (BEL)\n\n```\n{}```\n", report::scaling_table("hybrid (BEL)", &study.hybrid_bel));
-    let _ = writeln!(md, "## Fig. 8 — hybrid (SEL)\n\n```\n{}```\n", report::scaling_table("hybrid (SEL)", &study.hybrid_sel));
-    let _ = writeln!(md, "## Fig. 9 — parameters\n\n```\n{}```\n", report::parameter_table(&study));
-    let _ = writeln!(md, "## Fig. 10 — comparative rates\n\n```\n{}```\n", report::comparative_table(&study));
+    let _ = writeln!(
+        md,
+        "## Fig. 6 — classical\n\n```\n{}```\n",
+        report::scaling_table("classical", &study.classical)
+    );
+    let _ = writeln!(
+        md,
+        "## Fig. 7 — hybrid (BEL)\n\n```\n{}```\n",
+        report::scaling_table("hybrid (BEL)", &study.hybrid_bel)
+    );
+    let _ = writeln!(
+        md,
+        "## Fig. 8 — hybrid (SEL)\n\n```\n{}```\n",
+        report::scaling_table("hybrid (SEL)", &study.hybrid_sel)
+    );
+    let _ = writeln!(
+        md,
+        "## Fig. 9 — parameters\n\n```\n{}```\n",
+        report::parameter_table(&study)
+    );
+    let _ = writeln!(
+        md,
+        "## Fig. 10 — comparative rates\n\n```\n{}```\n",
+        report::comparative_table(&study)
+    );
     let _ = writeln!(
         md,
         "## Table I — paper combos\n\n```\n{}```\n",
@@ -58,14 +78,7 @@ fn main() {
 
     let report_path = cli.study_path().with_extension("md");
     let csv_path = cli.study_path().with_extension("csv");
-    if let Err(e) = std::fs::write(&report_path, &md) {
-        eprintln!("warning: could not write {report_path:?}: {e}");
-    } else {
-        eprintln!("(report written to {report_path:?})");
-    }
-    if let Err(e) = std::fs::write(&csv_path, report::winners_csv(&study)) {
-        eprintln!("warning: could not write {csv_path:?}: {e}");
-    } else {
-        eprintln!("(winners exported to {csv_path:?})");
-    }
+    write_artifact(&report_path, &md);
+    write_artifact(&csv_path, &report::winners_csv(&study));
+    cli.finish();
 }

@@ -51,4 +51,5 @@ fn main() {
          order of magnitude above the profiler-convention numbers, which is exactly the\n\
          simulation overhead the paper argues HQNNs pay on classical hardware)"
     );
+    cli.finish();
 }

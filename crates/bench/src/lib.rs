@@ -8,7 +8,14 @@
 //! * `--smoke` — a seconds-scale miniature (CI / demos);
 //! * `--cache <dir>` — where the study JSON is stored (default
 //!   `experiment-results/`);
-//! * `--fresh` — ignore any cached study and re-run.
+//! * `--fresh` — ignore any cached study and re-run;
+//! * `--log-json <path>` — write every telemetry event as one JSON object
+//!   per line to `path`;
+//! * `--quiet` — suppress stderr progress (result tables still print).
+//!
+//! Progress goes through [`hqnn_telemetry`]: stderr verbosity follows
+//! `HQNN_LOG` (default `info` for binaries), and every binary ends by
+//! printing a span-tree profile via [`Cli::finish`].
 //!
 //! Search results are cached per profile in a single JSON file, so running
 //! `fig6` then `fig9` reuses the classical search instead of repeating it.
@@ -21,6 +28,7 @@ use std::process::exit;
 
 use hqnn_search::experiments::Family;
 use hqnn_search::{ExperimentConfig, StudyResult};
+use hqnn_telemetry as telemetry;
 
 /// Which protocol profile a binary runs with.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -71,6 +79,10 @@ pub struct Cli {
     pub cache_dir: PathBuf,
     /// Ignore caches and re-run searches.
     pub fresh: bool,
+    /// Mirror every telemetry event to this JSONL file.
+    pub log_json: Option<PathBuf>,
+    /// Suppress stderr progress output.
+    pub quiet: bool,
 }
 
 impl Cli {
@@ -86,12 +98,20 @@ impl Cli {
                 "--full-levels" => cli.profile = Profile::FullLevels,
                 "--smoke" => cli.profile = Profile::Smoke,
                 "--fresh" => cli.fresh = true,
+                "--quiet" | "-q" => cli.quiet = true,
                 "--cache" => {
                     let Some(dir) = args.next() else {
                         eprintln!("--cache requires a directory argument");
                         exit(2);
                     };
                     cli.cache_dir = PathBuf::from(dir);
+                }
+                "--log-json" => {
+                    let Some(path) = args.next() else {
+                        eprintln!("--log-json requires a file argument");
+                        exit(2);
+                    };
+                    cli.log_json = Some(PathBuf::from(path));
                 }
                 "--help" | "-h" => {
                     println!(
@@ -102,7 +122,9 @@ impl Cli {
                          --full-levels  fast protocol over all 11 complexity levels\n\
                          --smoke        miniature protocol (seconds)\n\
                          --cache        study cache directory (default experiment-results/)\n\
-                         --fresh        ignore cached results and re-run"
+                         --fresh        ignore cached results and re-run\n\
+                         --log-json     mirror telemetry events to a JSONL file\n\
+                         --quiet        suppress stderr progress (tables still print)"
                     );
                     exit(0);
                 }
@@ -112,12 +134,42 @@ impl Cli {
                 }
             }
         }
+        cli.init_telemetry();
         cli
+    }
+
+    /// Applies this invocation's telemetry policy: `--quiet` silences the
+    /// console, otherwise binaries default to `info` when `HQNN_LOG` is
+    /// unset (libraries and tests keep the quieter `error` default), and
+    /// `--log-json` attaches the JSONL sink.
+    fn init_telemetry(&self) {
+        if self.quiet {
+            telemetry::set_level(telemetry::Level::Off);
+        } else if std::env::var_os("HQNN_LOG").is_none() {
+            telemetry::set_level(telemetry::Level::Info);
+        }
+        if let Some(path) = &self.log_json {
+            if let Err(e) = telemetry::add_jsonl_sink(path) {
+                eprintln!("could not open --log-json file {}: {e}", path.display());
+                exit(2);
+            }
+        }
+    }
+
+    /// Flushes sinks and prints the end-of-run span-tree profile to stderr
+    /// (suppressed by `--quiet` / `HQNN_LOG=off`). Call last in every
+    /// binary, after the result tables.
+    pub fn finish(&self) {
+        telemetry::flush();
+        if telemetry::enabled(telemetry::Level::Error) {
+            eprintln!("{}", telemetry::report());
+        }
     }
 
     /// The cache path for this profile's study JSON.
     pub fn study_path(&self) -> PathBuf {
-        self.cache_dir.join(format!("study-{}.json", self.profile.tag()))
+        self.cache_dir
+            .join(format!("study-{}.json", self.profile.tag()))
     }
 
     /// Loads the cached study if compatible, otherwise starts a fresh one.
@@ -126,10 +178,18 @@ impl Cli {
         if !self.fresh {
             if let Ok(study) = StudyResult::load(self.study_path()) {
                 if study.config == config {
-                    eprintln!("(reusing cached results from {:?})", self.study_path());
+                    telemetry::event(
+                        telemetry::Level::Info,
+                        "bench.cache_hit",
+                        &[("path", self.study_path().display().to_string().into())],
+                    );
                     return study;
                 }
-                eprintln!("(cache config changed; re-running searches)");
+                telemetry::event(
+                    telemetry::Level::Info,
+                    "bench.cache_stale",
+                    &[("path", self.study_path().display().to_string().into())],
+                );
             }
         }
         StudyResult::new(config)
@@ -139,7 +199,14 @@ impl Cli {
     /// aborting (the printed tables are the primary output).
     pub fn save_study(&self, study: &StudyResult) {
         if let Err(e) = study.save(self.study_path()) {
-            eprintln!("warning: could not cache results: {e}");
+            telemetry::event(
+                telemetry::Level::Error,
+                "bench.cache_write_failed",
+                &[
+                    ("path", self.study_path().display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
         }
     }
 }
@@ -152,6 +219,8 @@ impl Default for Cli {
             profile: Profile::Fast,
             cache_dir: PathBuf::from("experiment-results"),
             fresh: false,
+            log_json: None,
+            quiet: false,
         }
     }
 }
@@ -163,24 +232,42 @@ pub fn ensure_family(study: &mut StudyResult, family: Family) -> bool {
     if !study.family(family).is_empty() {
         return false;
     }
-    eprintln!(
-        "running {} search over levels {:?} (threshold {:.0}%, {} runs × {} repetitions)…",
-        family.name(),
-        study.config.levels,
-        100.0 * study.config.search.accuracy_threshold,
-        study.config.search.runs_per_combo,
-        study.config.search.repetitions,
+    // Per-combo progress is emitted by `search_level` itself as
+    // `search.combo` events; here we only mark the family boundary.
+    telemetry::event(
+        telemetry::Level::Info,
+        "search.family_start",
+        &[
+            ("family", family.name().into()),
+            ("levels", format!("{:?}", study.config.levels).into()),
+            ("threshold", study.config.search.accuracy_threshold.into()),
+            ("runs", study.config.search.runs_per_combo.into()),
+            ("reps", study.config.search.repetitions.into()),
+        ],
     );
-    study.run_family(family, &mut |features, rep, combo| {
-        eprintln!(
-            "  [F={features} rep {rep}] {:<18} train {:>5.1}% val {:>5.1}% {}",
-            combo.spec.label(),
-            100.0 * combo.avg_train_accuracy,
-            100.0 * combo.avg_val_accuracy,
-            if combo.passed { "← winner" } else { "" }
-        );
-    });
+    study.run_family(family, &mut |_, _, _| {});
     true
+}
+
+/// Writes a generated artifact (markdown report, CSV export) and reports
+/// the outcome as a telemetry event; failures warn rather than abort, since
+/// the stdout tables are the primary output.
+pub fn write_artifact(path: &std::path::Path, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => telemetry::event(
+            telemetry::Level::Info,
+            "bench.artifact",
+            &[("path", path.display().to_string().into())],
+        ),
+        Err(e) => telemetry::event(
+            telemetry::Level::Error,
+            "bench.artifact_write_failed",
+            &[
+                ("path", path.display().to_string().into()),
+                ("error", e.to_string().into()),
+            ],
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -189,9 +276,15 @@ mod tests {
 
     #[test]
     fn profiles_map_to_configs() {
-        assert_eq!(Profile::Paper.experiment_config(), ExperimentConfig::paper());
+        assert_eq!(
+            Profile::Paper.experiment_config(),
+            ExperimentConfig::paper()
+        );
         assert_eq!(Profile::Fast.experiment_config(), ExperimentConfig::fast());
-        assert_eq!(Profile::Smoke.experiment_config(), ExperimentConfig::smoke());
+        assert_eq!(
+            Profile::Smoke.experiment_config(),
+            ExperimentConfig::smoke()
+        );
     }
 
     #[test]

@@ -122,9 +122,12 @@ impl QuantumLayer {
 
     fn gradients_for(&self, inputs: &[f64]) -> hqnn_qsim::Gradients {
         match self.method {
-            GradientMethod::Adjoint => {
-                adjoint(&self.circuit, inputs, self.params.as_slice(), &self.observables)
-            }
+            GradientMethod::Adjoint => adjoint(
+                &self.circuit,
+                inputs,
+                self.params.as_slice(),
+                &self.observables,
+            ),
             GradientMethod::ParameterShift => parameter_shift(
                 &self.circuit,
                 inputs,
@@ -145,6 +148,7 @@ impl Layer for QuantumLayer {
             input.cols()
         );
         self.cached_input = Some(input.clone());
+        let _span = hqnn_telemetry::span("core.qlayer_forward");
         let mut out = Matrix::zeros(input.rows(), n);
         for r in 0..input.rows() {
             let exps =
@@ -166,13 +170,19 @@ impl Layer for QuantumLayer {
             (input.rows(), n),
             "gradient shape mismatch"
         );
+        let _span = hqnn_telemetry::span("core.qlayer_backward");
         let n_params = self.template.param_count();
         let mut grad_params = Matrix::zeros(1, n_params);
         let mut grad_input = Matrix::zeros(input.rows(), n);
 
         for r in 0..input.rows() {
             let grads = self.gradients_for(input.row(r));
-            accumulate_chain(&grads, grad_output.row(r), &mut grad_params, grad_input.row_mut(r));
+            accumulate_chain(
+                &grads,
+                grad_output.row(r),
+                &mut grad_params,
+                grad_input.row_mut(r),
+            );
         }
         self.grad_params = grad_params;
         grad_input
@@ -238,7 +248,10 @@ mod tests {
         let x = Matrix::uniform(5, 3, -2.0, 2.0, &mut rng);
         let y = l.forward(&x, true);
         assert_eq!(y.shape(), (5, 3));
-        assert!(y.as_slice().iter().all(|v| (-1.0 - 1e-12..=1.0 + 1e-12).contains(v)));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|v| (-1.0 - 1e-12..=1.0 + 1e-12).contains(v)));
     }
 
     #[test]
@@ -249,7 +262,9 @@ mod tests {
         let y = l.forward(&x, false);
         let obs: Vec<_> = (0..3).map(Observable::z).collect();
         for r in 0..2 {
-            let direct = l.circuit().expectations(x.row(r), l.params().as_slice(), &obs);
+            let direct = l
+                .circuit()
+                .expectations(x.row(r), l.params().as_slice(), &obs);
             for (a, b) in y.row(r).iter().zip(&direct) {
                 assert!((a - b).abs() < 1e-14);
             }
@@ -263,7 +278,13 @@ mod tests {
         let g = Matrix::uniform(4, 3, -1.0, 1.0, &mut rng);
 
         let template = QnnTemplate::new(3, 2, EntanglerKind::Strong);
-        let params = Matrix::uniform(1, template.param_count(), 0.0, std::f64::consts::TAU, &mut rng);
+        let params = Matrix::uniform(
+            1,
+            template.param_count(),
+            0.0,
+            std::f64::consts::TAU,
+            &mut rng,
+        );
 
         let mut a = QuantumLayer::from_parts(template, params.clone());
         let mut p = QuantumLayer::from_parts(template, params)
@@ -287,7 +308,13 @@ mod tests {
         // Scalar pseudo-loss L = Σ_r Σ_o w_{ro} · out_{ro}; check dL/dθ and dL/dx.
         let mut rng = SeededRng::new(4);
         let template = QnnTemplate::new(2, 2, EntanglerKind::Basic);
-        let params = Matrix::uniform(1, template.param_count(), 0.0, std::f64::consts::TAU, &mut rng);
+        let params = Matrix::uniform(
+            1,
+            template.param_count(),
+            0.0,
+            std::f64::consts::TAU,
+            &mut rng,
+        );
         let x = Matrix::uniform(3, 2, -1.0, 1.0, &mut rng);
         let w = Matrix::uniform(3, 2, -1.0, 1.0, &mut rng);
 

@@ -173,6 +173,7 @@ impl Dataset {
             "need at least one sample per class"
         );
         assert!(config.n_features >= 2, "spiral needs ≥ 2 features");
+        let _span = hqnn_telemetry::span("data.spiral");
         let per_class = config.n_samples / config.n_classes;
         let n = per_class * config.n_classes;
         let noise = config.effective_noise();
@@ -212,6 +213,18 @@ impl Dataset {
             n_classes: config.n_classes,
         };
         ds.shuffle(rng);
+        hqnn_telemetry::counter("data.samples_generated", n as u64);
+        hqnn_telemetry::event(
+            hqnn_telemetry::Level::Debug,
+            "data.generate",
+            &[
+                ("kind", "spiral".into()),
+                ("samples", n.into()),
+                ("features", config.n_features.into()),
+                ("classes", config.n_classes.into()),
+                ("noise", noise.into()),
+            ],
+        );
         ds
     }
 
@@ -275,9 +288,7 @@ impl Dataset {
         let mut train_idx = Vec::new();
         let mut val_idx = Vec::new();
         for class in 0..self.n_classes {
-            let mut members: Vec<usize> = (0..self.len())
-                .filter(|&i| self.y[i] == class)
-                .collect();
+            let mut members: Vec<usize> = (0..self.len()).filter(|&i| self.y[i] == class).collect();
             rng.shuffle(&mut members);
             let cut = ((members.len() as f64) * train_fraction).round() as usize;
             let cut = cut.clamp(1.min(members.len()), members.len());
@@ -455,7 +466,10 @@ mod tests {
     #[test]
     fn higher_complexity_means_more_noise_energy() {
         // Derived features at 110 features carry visibly more noise than at 10.
-        let lo = Dataset::spiral(&SpiralConfig::paper(10).with_samples(900), &mut SeededRng::new(1));
+        let lo = Dataset::spiral(
+            &SpiralConfig::paper(10).with_samples(900),
+            &mut SeededRng::new(1),
+        );
         let hi = Dataset::spiral(
             &SpiralConfig::paper(110).with_samples(900),
             &mut SeededRng::new(1),
@@ -550,7 +564,10 @@ mod tests {
         let moved = (2..20)
             .filter(|&j| (signal_feature(j, x0, x1) - signal_feature(j, rx, ry)).abs() > 1e-3)
             .count();
-        assert!(moved > 10, "only {moved} signal features changed under rotation");
+        assert!(
+            moved > 10,
+            "only {moved} signal features changed under rotation"
+        );
     }
 
     #[test]

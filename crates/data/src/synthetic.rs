@@ -175,7 +175,12 @@ mod tests {
                 .collect();
             rows.iter().sum::<f64>() / rows.len() as f64
         };
-        assert!(mean_y(0) > mean_y(1) + 0.5, "{} vs {}", mean_y(0), mean_y(1));
+        assert!(
+            mean_y(0) > mean_y(1) + 0.5,
+            "{} vs {}",
+            mean_y(0),
+            mean_y(1)
+        );
         // …but no horizontal line does: both classes cross y = 0.25
         // (the interleaving that makes the task non-linear).
         let crossings = |class: usize| {

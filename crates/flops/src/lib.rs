@@ -351,6 +351,7 @@ impl CostModel {
     /// Total forward + backward simulation cost of a circuit with `⟨Z⟩`
     /// readout on `n_observables` wires, split into Table I's Enc/QL columns.
     pub fn circuit_total(&self, circuit: &Circuit, n_observables: usize) -> QuantumFlops {
+        hqnn_telemetry::counter("flops.circuit_estimates", 1);
         let census = circuit.op_census();
         let n = circuit.n_qubits();
         let fwd = self.circuit_forward(&census, n);
@@ -484,10 +485,26 @@ mod tests {
         let sel = model.circuit_total(&QnnTemplate::new(3, 2, EntanglerKind::Strong).build(), 3);
         let bel = model.circuit_total(&QnnTemplate::new(3, 2, EntanglerKind::Basic).build(), 3);
         let bel44 = model.circuit_total(&QnnTemplate::new(4, 4, EntanglerKind::Basic).build(), 4);
-        assert!((400..2200).contains(&sel.quantum_layer), "SEL QL = {}", sel.quantum_layer);
-        assert!((100..900).contains(&bel.quantum_layer), "BEL QL = {}", bel.quantum_layer);
-        assert!((400..3600).contains(&bel44.quantum_layer), "BEL44 QL = {}", bel44.quantum_layer);
-        assert!((100..1000).contains(&sel.encoding), "Enc = {}", sel.encoding);
+        assert!(
+            (400..2200).contains(&sel.quantum_layer),
+            "SEL QL = {}",
+            sel.quantum_layer
+        );
+        assert!(
+            (100..900).contains(&bel.quantum_layer),
+            "BEL QL = {}",
+            bel.quantum_layer
+        );
+        assert!(
+            (400..3600).contains(&bel44.quantum_layer),
+            "BEL44 QL = {}",
+            bel44.quantum_layer
+        );
+        assert!(
+            (100..1000).contains(&sel.encoding),
+            "Enc = {}",
+            sel.encoding
+        );
     }
 
     #[test]

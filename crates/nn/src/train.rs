@@ -2,6 +2,7 @@
 //! shuffled mini-batches of 8, Adam at `lr = 0.001`, 100 epochs, recording
 //! the **best** train/validation accuracy across epochs.
 
+use hqnn_telemetry as telemetry;
 use hqnn_tensor::{Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,10 @@ pub struct TrainConfig {
     /// forward pass over train+val per epoch either way; disabling only
     /// drops the stored rows).
     pub record_history: bool,
+    /// Stop early once training accuracy (and validation accuracy, when a
+    /// validation set is present) reaches this threshold. `None` (the
+    /// paper's protocol) always runs the full epoch budget.
+    pub early_stop_acc: Option<f64>,
 }
 
 impl TrainConfig {
@@ -32,6 +37,7 @@ impl TrainConfig {
             batch_size: 8,
             shuffle: true,
             record_history: false,
+            early_stop_acc: None,
         }
     }
 
@@ -42,6 +48,7 @@ impl TrainConfig {
             batch_size: 8,
             shuffle: true,
             record_history: false,
+            early_stop_acc: None,
         }
     }
 
@@ -54,6 +61,12 @@ impl TrainConfig {
     /// Overrides the batch size.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Enables early stopping at the given accuracy threshold.
+    pub fn with_early_stop(mut self, acc: f64) -> Self {
+        self.early_stop_acc = Some(acc);
         self
     }
 }
@@ -124,6 +137,7 @@ pub fn train(
     assert_eq!(x_val.rows(), y_val.len(), "val sample/label mismatch");
     assert!(config.batch_size > 0, "batch size must be positive");
 
+    let _train_span = telemetry::span("nn.train");
     let loss_fn = SoftmaxCrossEntropy::new();
     let n = x_train.rows();
     let mut order: Vec<usize> = (0..n).collect();
@@ -139,6 +153,7 @@ pub fn train(
     };
 
     for epoch in 0..config.epochs {
+        let _epoch_span = telemetry::span("nn.epoch");
         if config.shuffle {
             rng.shuffle(&mut order);
         }
@@ -176,6 +191,32 @@ pub fn train(
                 train_accuracy: train_acc,
                 val_accuracy: val_acc,
             });
+        }
+        telemetry::counter("nn.epochs", 1);
+        telemetry::event(
+            telemetry::Level::Debug,
+            "nn.epoch",
+            &[
+                ("epoch", epoch.into()),
+                ("train_loss", epoch_loss.into()),
+                ("train_acc", train_acc.into()),
+                ("val_acc", val_acc.into()),
+            ],
+        );
+        if let Some(threshold) = config.early_stop_acc {
+            let val_ok = y_val.is_empty() || val_acc >= threshold;
+            if train_acc >= threshold && val_ok {
+                telemetry::event(
+                    telemetry::Level::Info,
+                    "nn.early_stop",
+                    &[
+                        ("epoch", epoch.into()),
+                        ("train_acc", train_acc.into()),
+                        ("val_acc", val_acc.into()),
+                    ],
+                );
+                break;
+            }
         }
     }
     report
@@ -253,6 +294,19 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn early_stop_halts_before_epoch_budget() {
+        let mut rng = SeededRng::new(100);
+        let (x, y) = blobs(&mut rng, 40);
+        let mut model = classifier(&mut rng);
+        let mut opt = Adam::new(0.01);
+        // Separable blobs hit 90% long before 200 epochs.
+        let config = TrainConfig::fast().with_epochs(200).with_early_stop(0.9);
+        let report = train(&mut model, &mut opt, &x, &y, &x, &y, 2, &config, &mut rng);
+        assert!(report.epochs_run < 200, "{report:?}");
+        assert!(report.best_train_accuracy >= 0.9, "{report:?}");
     }
 
     #[test]

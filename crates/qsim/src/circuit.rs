@@ -349,6 +349,8 @@ impl Circuit {
             self.n_trainable,
             params.len()
         );
+        hqnn_telemetry::counter("qsim.circuit_runs", 1);
+        hqnn_telemetry::counter("qsim.gate_applies", self.ops.len() as u64);
         let mut state = StateVector::new(self.n_qubits);
         for op in &self.ops {
             Self::apply_op(op, &mut state, inputs, params);
@@ -369,10 +371,7 @@ impl Circuit {
         observables: &[Observable],
     ) -> Vec<f64> {
         let state = self.run(inputs, params);
-        observables
-            .iter()
-            .map(|o| o.expectation(&state))
-            .collect()
+        observables.iter().map(|o| o.expectation(&state)).collect()
     }
 
     /// Counts ops by how the FLOPs model classifies them:

@@ -54,6 +54,8 @@ pub fn adjoint(
     params: &[f64],
     observables: &[Observable],
 ) -> Gradients {
+    let _span = hqnn_telemetry::span("qsim.adjoint");
+    hqnn_telemetry::counter("qsim.adjoint_passes", 1);
     let n_obs = observables.len();
     let mut grads = Gradients {
         expectations: Vec::with_capacity(n_obs),
@@ -120,6 +122,8 @@ pub fn parameter_shift(
     params: &[f64],
     observables: &[Observable],
 ) -> Gradients {
+    let _span = hqnn_telemetry::span("qsim.parameter_shift");
+    hqnn_telemetry::counter("qsim.parameter_shift_passes", 1);
     let n_obs = observables.len();
     let mut grads = Gradients {
         expectations: circuit.expectations(inputs, params, observables),
@@ -327,7 +331,10 @@ mod tests {
             let theta = k as f64 * 0.4 - 1.5;
             let g = adjoint(&c, &[], &[theta], &z_all(1));
             assert!((g.expectations[0] - theta.cos()).abs() < 1e-12);
-            assert!((g.d_params[(0, 0)] + theta.sin()).abs() < 1e-12, "θ={theta}");
+            assert!(
+                (g.d_params[(0, 0)] + theta.sin()).abs() < 1e-12,
+                "θ={theta}"
+            );
         }
     }
 
@@ -500,7 +507,10 @@ mod tests {
         let e_dn = eval(&[inputs[0] - eps], &params);
         for o in 0..2 {
             let fd = (e_up[o] - e_dn[o]) / (2.0 * eps);
-            assert!((analytic.d_inputs[(o, 0)] - fd).abs() < 1e-6, "input obs {o}");
+            assert!(
+                (analytic.d_inputs[(o, 0)] - fd).abs() < 1e-6,
+                "input obs {o}"
+            );
         }
     }
 
@@ -509,8 +519,13 @@ mod tests {
         let mut c = Circuit::new(1);
         c.rx(0, ParamSource::Trainable(0));
         let obs = z_all(1);
-        let clean =
-            parameter_shift_noisy(&c, &[], &[0.9], &obs, &crate::noise::NoiseModel::noiseless());
+        let clean = parameter_shift_noisy(
+            &c,
+            &[],
+            &[0.9],
+            &obs,
+            &crate::noise::NoiseModel::noiseless(),
+        );
         let noisy = parameter_shift_noisy(
             &c,
             &[],

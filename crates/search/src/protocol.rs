@@ -4,6 +4,7 @@ use hqnn_core::ModelSpec;
 use hqnn_data::{Dataset, SpiralConfig, Standardizer};
 use hqnn_flops::{CostModel, FlopsBreakdown};
 use hqnn_nn::{train, Adam, TrainConfig};
+use hqnn_telemetry as telemetry;
 use hqnn_tensor::{Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
 
@@ -165,9 +166,7 @@ impl LevelResult {
         if winners.is_empty() {
             return None;
         }
-        Some(
-            winners.iter().map(|w| w.flops.total() as f64).sum::<f64>() / winners.len() as f64,
-        )
+        Some(winners.iter().map(|w| w.flops.total() as f64).sum::<f64>() / winners.len() as f64)
     }
 
     /// Mean parameter count of the winners.
@@ -176,17 +175,13 @@ impl LevelResult {
         if winners.is_empty() {
             return None;
         }
-        Some(
-            winners.iter().map(|w| w.param_count as f64).sum::<f64>() / winners.len() as f64,
-        )
+        Some(winners.iter().map(|w| w.param_count as f64).sum::<f64>() / winners.len() as f64)
     }
 
     /// The smallest (fewest-FLOPs) winner across repetitions — the model the
     /// paper's comparative analysis (§IV-E) selects per level.
     pub fn smallest_winner(&self) -> Option<&ComboOutcome> {
-        self.winners()
-            .into_iter()
-            .min_by_key(|w| w.flops.total())
+        self.winners().into_iter().min_by_key(|w| w.flops.total())
     }
 }
 
@@ -208,6 +203,7 @@ pub struct PreparedData {
 /// Generates and prepares the spiral instance for one complexity level,
 /// deterministically from the config's seed.
 pub fn prepare_level_data(config: &SearchConfig, n_features: usize) -> PreparedData {
+    let _span = telemetry::span("search.prepare_data");
     let parent = SeededRng::new(config.seed);
     let mut data_rng = parent.split(n_features as u64);
     let spiral = SpiralConfig::paper(n_features).with_samples(config.dataset_samples);
@@ -256,8 +252,7 @@ pub fn evaluate_combo(
             val_accuracy: report.best_val_accuracy,
         });
     }
-    let avg_train =
-        runs.iter().map(|r| r.train_accuracy).sum::<f64>() / runs.len().max(1) as f64;
+    let avg_train = runs.iter().map(|r| r.train_accuracy).sum::<f64>() / runs.len().max(1) as f64;
     let avg_val = runs.iter().map(|r| r.val_accuracy).sum::<f64>() / runs.len().max(1) as f64;
     ComboOutcome {
         flops: spec.flops(cost),
@@ -292,6 +287,16 @@ pub fn search_level(
         space.iter().all(|s| s.n_features() == n_features),
         "spec feature counts disagree with the level"
     );
+    let _level_span = telemetry::span("search.level");
+    telemetry::event(
+        telemetry::Level::Info,
+        "search.level_start",
+        &[
+            ("n_features", n_features.into()),
+            ("space", space.len().into()),
+            ("repetitions", config.repetitions.into()),
+        ],
+    );
     let mut sorted: Vec<&ModelSpec> = space.iter().collect();
     sorted.sort_by_key(|s| s.flops(cost).total());
 
@@ -307,7 +312,27 @@ pub fn search_level(
         {
             // Salt layout: (level, repetition, combo) → independent streams.
             let salt = (n_features as u64) << 32 | (rep as u64) << 16 | combo_idx as u64;
-            let outcome = evaluate_combo(spec, &data, config, cost, salt);
+            let outcome = {
+                let _combo_span = telemetry::span("search.combo");
+                evaluate_combo(spec, &data, config, cost, salt)
+            };
+            telemetry::counter("search.combos_evaluated", 1);
+            telemetry::counter("flops.estimated_total", outcome.flops.total());
+            telemetry::event(
+                telemetry::Level::Info,
+                "search.combo",
+                &[
+                    ("n_features", n_features.into()),
+                    ("rep", rep.into()),
+                    ("combo", combo_idx.into()),
+                    ("model", outcome.spec.label().into()),
+                    ("params", outcome.param_count.into()),
+                    ("flops", outcome.flops.total().into()),
+                    ("train_acc", outcome.avg_train_accuracy.into()),
+                    ("val_acc", outcome.avg_val_accuracy.into()),
+                    ("passed", outcome.passed.into()),
+                ],
+            );
             progress(rep, &outcome);
             let passed = outcome.passed;
             evaluated.push(outcome);
@@ -413,7 +438,9 @@ mod tests {
             let mean = result.mean_winner_flops().expect("has winners");
             assert!(mean > 0.0);
             let smallest = result.smallest_winner().expect("has winners");
-            assert!(winners.iter().all(|w| w.flops.total() >= smallest.flops.total()));
+            assert!(winners
+                .iter()
+                .all(|w| w.flops.total() >= smallest.flops.total()));
             assert!(result.mean_winner_params().expect("has winners") > 0.0);
         }
     }

@@ -1,0 +1,258 @@
+//! Structured tracing, metrics, and profiling for the hqnn workspace.
+//!
+//! The paper this repo reproduces makes a *cost* claim — FLOPs and parameter
+//! counts of the smallest model reaching the accuracy bar — so the workspace
+//! needs to see where time and work actually go. This crate provides that
+//! observability with **no external dependencies** beyond the workspace's own
+//! serde stubs:
+//!
+//! - **Spans** ([`span`]): RAII-guarded hierarchical timers. Every span
+//!   records into a global registry keyed by its full path (e.g.
+//!   `repro/train/epoch`), aggregating call count, total/min/max time, and
+//!   p50/p99 latency from a bounded reservoir.
+//! - **Counters and gauges** ([`counter`], [`gauge`]): cheap named totals
+//!   (`qsim.gate_applies`, `search.combos_evaluated`, …).
+//! - **Events** ([`event`]): leveled, structured records dispatched to
+//!   pluggable [`Sink`]s — a human-readable stderr logger (level set by the
+//!   `HQNN_LOG` env var: `off|error|info|debug|trace`), a JSONL file sink for
+//!   machine-readable run logs, and an in-memory sink for tests.
+//! - **Reports** ([`report`]): an indented span-tree profile with self vs.
+//!   cumulative time, designed to be printed at the end of a bench binary.
+//!
+//! # Example
+//!
+//! ```
+//! use hqnn_telemetry as telemetry;
+//!
+//! telemetry::reset(); // fresh state (tests only)
+//! {
+//!     let _outer = telemetry::span("outer");
+//!     let _inner = telemetry::span("inner");
+//!     telemetry::counter("example.widgets", 3);
+//! }
+//! let stats = telemetry::snapshot();
+//! assert_eq!(stats.spans["outer/inner"].count, 1);
+//! assert_eq!(stats.counters["example.widgets"], 3);
+//! assert!(telemetry::report().contains("outer"));
+//! ```
+
+mod event;
+mod registry;
+mod report;
+mod sink;
+mod span;
+
+pub use event::{Event, FieldValue, Level};
+pub use registry::{CounterSnapshot, SpanStats, Snapshot};
+pub use report::report;
+pub use sink::{MemorySink, Sink};
+pub use span::SpanGuard;
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Process-wide epoch: event timestamps are microseconds since this instant.
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the process first touched telemetry.
+pub fn now_us() -> u64 {
+    process_start().elapsed().as_micros() as u64
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(u8::MAX); // MAX = "not yet initialised"
+
+fn sinks() -> &'static Mutex<Vec<Box<dyn Sink>>> {
+    static SINKS: OnceLock<Mutex<Vec<Box<dyn Sink>>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(vec![Box::new(sink::StderrSink)]))
+}
+
+/// Initialises the global level from `HQNN_LOG` if not yet set. Called
+/// lazily by every emission path; harmless to call again.
+pub fn init() {
+    if LEVEL.load(Ordering::Relaxed) == u8::MAX {
+        let level = std::env::var("HQNN_LOG")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(Level::Error);
+        LEVEL.store(level as u8, Ordering::Relaxed);
+    }
+}
+
+/// Overrides the log level (wins over `HQNN_LOG`).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The currently active log level.
+pub fn level() -> Level {
+    init();
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// True when events at `level` would reach the sinks.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= self::level() as u8
+}
+
+/// Registers a JSONL sink appending one JSON object per event to `path`.
+/// Events of every level are written regardless of `HQNN_LOG` — the file is
+/// a machine-readable run log, not a console.
+pub fn add_jsonl_sink(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let jsonl = sink::JsonlSink::create(path.as_ref())?;
+    sinks().lock().unwrap().push(Box::new(jsonl));
+    Ok(())
+}
+
+/// Registers an in-memory sink and returns a handle for inspecting the
+/// captured events (intended for tests).
+pub fn add_memory_sink() -> MemorySink {
+    let mem = MemorySink::new();
+    sinks().lock().unwrap().push(Box::new(mem.clone()));
+    mem
+}
+
+/// Flushes all sinks (call before reading a JSONL file mid-run).
+pub fn flush() {
+    for sink in sinks().lock().unwrap().iter_mut() {
+        sink.flush();
+    }
+}
+
+/// Emits a structured event. Filtered sinks (stderr) drop events above the
+/// active level; recording sinks (JSONL, memory) receive everything.
+pub fn event(level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+    init();
+    let ev = Event {
+        ts_us: now_us(),
+        level,
+        name: name.to_string(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    };
+    let console = enabled(level);
+    for sink in sinks().lock().unwrap().iter_mut() {
+        if console || !sink.respects_level() {
+            sink.record(&ev);
+        }
+    }
+}
+
+/// Opens a timed span; the returned guard records into the global registry
+/// (and emits a `span` event at debug level) when dropped.
+#[must_use = "a span only measures the scope of its guard"]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard::enter(name)
+}
+
+/// Records a duration under `path` without an enclosing guard — the hook
+/// used by hot paths that batch their measurements and by tests that need
+/// exact known distributions.
+pub fn record_duration(path: &str, duration: Duration) {
+    registry::global().record_span(path, duration);
+}
+
+/// Adds `delta` to the named counter.
+pub fn counter(name: &str, delta: u64) {
+    registry::global().add_counter(name, delta);
+    if enabled(Level::Trace) {
+        event(
+            Level::Trace,
+            "counter",
+            &[("name", name.into()), ("delta", delta.into())],
+        );
+    }
+}
+
+/// Sets the named gauge to `value` (last write wins).
+pub fn gauge(name: &str, value: f64) {
+    registry::global().set_gauge(name, value);
+    if enabled(Level::Trace) {
+        event(
+            Level::Trace,
+            "gauge",
+            &[("name", name.into()), ("value", value.into())],
+        );
+    }
+}
+
+/// A point-in-time copy of every span aggregate, counter, and gauge.
+pub fn snapshot() -> Snapshot {
+    registry::global().snapshot()
+}
+
+/// Clears all recorded spans, counters, gauges, and sinks except stderr,
+/// and re-reads the level. Intended for tests and between bench phases.
+pub fn reset() {
+    registry::global().clear();
+    let mut sinks = sinks().lock().unwrap();
+    sinks.clear();
+    sinks.push(Box::new(sink::StderrSink));
+    LEVEL.store(u8::MAX, Ordering::Relaxed);
+    init();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Serialised by a mutex: these tests mutate global state.
+    fn with_clean_state(f: impl FnOnce()) {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_level(Level::Off);
+        f();
+        reset();
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        with_clean_state(|| {
+            {
+                let _a = span("a");
+                {
+                    let _b = span("b");
+                }
+                {
+                    let _b = span("b");
+                }
+            }
+            let snap = snapshot();
+            assert_eq!(snap.spans["a"].count, 1);
+            assert_eq!(snap.spans["a/b"].count, 2);
+        });
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        with_clean_state(|| {
+            counter("c", 2);
+            counter("c", 3);
+            gauge("g", 1.5);
+            gauge("g", 2.5);
+            let snap = snapshot();
+            assert_eq!(snap.counters["c"], 5);
+            assert_eq!(snap.gauges["g"], 2.5);
+        });
+    }
+
+    #[test]
+    fn level_parsing_and_filtering() {
+        with_clean_state(|| {
+            assert!(!enabled(Level::Error));
+            set_level(Level::Info);
+            assert!(enabled(Level::Error));
+            assert!(enabled(Level::Info));
+            assert!(!enabled(Level::Debug));
+            assert_eq!("trace".parse::<Level>().unwrap(), Level::Trace);
+            assert!("bogus".parse::<Level>().is_err());
+        });
+    }
+}

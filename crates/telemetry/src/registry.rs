@@ -1,0 +1,183 @@
+//! Global aggregation: span timings, counters, gauges.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Cap on retained per-span samples; beyond it, reservoir sampling keeps a
+/// statistically representative subset so hot spans (millions of calls)
+/// stay O(1) in memory while percentiles remain meaningful.
+const RESERVOIR_CAP: usize = 4096;
+
+#[derive(Clone, Debug, Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+    /// Sample reservoir (nanoseconds).
+    samples: Vec<u64>,
+    /// Deterministic stream state for reservoir replacement decisions.
+    rng_state: u64,
+}
+
+impl SpanAgg {
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns as u128;
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(ns);
+        } else {
+            // Algorithm R with a SplitMix64 stream.
+            self.rng_state = self.rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = self.rng_state;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            let slot = ((x as u128 * self.count as u128) >> 64) as u64;
+            if (slot as usize) < RESERVOIR_CAP {
+                self.samples[slot as usize] = ns;
+            }
+        }
+    }
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStats {
+    pub count: u64,
+    pub total: Duration,
+    pub min: Duration,
+    pub max: Duration,
+    /// Median latency (from the sample reservoir).
+    pub p50: Duration,
+    /// 99th-percentile latency (from the sample reservoir).
+    pub p99: Duration,
+}
+
+/// A point-in-time copy of the registry.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Keyed by full span path, e.g. `repro/train/epoch`.
+    pub spans: HashMap<String, SpanStats>,
+    pub counters: HashMap<String, u64>,
+    pub gauges: HashMap<String, f64>,
+}
+
+/// Alias kept for API clarity in downstream code.
+pub type CounterSnapshot = HashMap<String, u64>;
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    spans: Mutex<HashMap<String, SpanAgg>>,
+    counters: Mutex<HashMap<String, u64>>,
+    gauges: Mutex<HashMap<String, f64>>,
+}
+
+pub(crate) fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Nearest-rank percentile on an unsorted sample set. `q` in `[0, 1]`.
+pub(crate) fn percentile_ns(samples: &mut [u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+impl Registry {
+    /// Returns `true` when this is the first record for `path` — used to
+    /// emit one example `span` event per path even below debug level.
+    pub(crate) fn record_span(&self, path: &str, duration: Duration) -> bool {
+        let ns = duration.as_nanos().min(u64::MAX as u128) as u64;
+        let mut spans = self.spans.lock().unwrap();
+        let agg = spans.entry(path.to_string()).or_default();
+        agg.record(ns);
+        agg.count == 1
+    }
+
+    pub(crate) fn add_counter(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().unwrap();
+        *counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn set_gauge(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.lock().unwrap();
+        gauges.insert(name.to_string(), value);
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let spans = self
+            .spans
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(path, agg)| {
+                let mut samples = agg.samples.clone();
+                let p50 = percentile_ns(&mut samples, 0.50);
+                let p99 = percentile_ns(&mut samples, 0.99);
+                (
+                    path.clone(),
+                    SpanStats {
+                        count: agg.count,
+                        total: Duration::from_nanos(agg.total_ns.min(u64::MAX as u128) as u64),
+                        min: Duration::from_nanos(agg.min_ns),
+                        max: Duration::from_nanos(agg.max_ns),
+                        p50: Duration::from_nanos(p50),
+                        p99: Duration::from_nanos(p99),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            spans,
+            counters: self.counters.lock().unwrap().clone(),
+            gauges: self.gauges.lock().unwrap().clone(),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        self.spans.lock().unwrap().clear();
+        self.counters.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&mut s, 0.50), 50);
+        assert_eq!(percentile_ns(&mut s, 0.99), 99);
+        assert_eq!(percentile_ns(&mut s, 1.0), 100);
+        let mut one = vec![7];
+        assert_eq!(percentile_ns(&mut one, 0.5), 7);
+        assert_eq!(percentile_ns(&mut [][..], 0.5), 0);
+    }
+
+    #[test]
+    fn reservoir_keeps_bounded_memory() {
+        let mut agg = SpanAgg::default();
+        for i in 0..(RESERVOIR_CAP as u64 * 3) {
+            agg.record(i);
+        }
+        assert_eq!(agg.count, RESERVOIR_CAP as u64 * 3);
+        assert_eq!(agg.samples.len(), RESERVOIR_CAP);
+        assert_eq!(agg.min_ns, 0);
+        assert_eq!(agg.max_ns, RESERVOIR_CAP as u64 * 3 - 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! End-of-run profile rendering: indented span tree + counters + gauges.
+
+use crate::registry::{self, SpanStats};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Renders the global registry as an indented span-tree profile with
+/// cumulative vs. self time and p50/p99 latencies, followed by counters and
+/// gauges. Designed to be printed once at the end of a bench binary:
+///
+/// ```text
+/// ── telemetry profile ─────────────────────────────────────────
+/// span                          count      total       self    p50      p99
+/// repro                             1    12.41s      180ms     …        …
+///   search                          1    12.23s      1.02s     …        …
+///     combo                        24    11.21s     11.21s   310ms    890ms
+/// counters
+///   qsim.gate_applies        1203412
+/// ```
+pub fn report() -> String {
+    let snapshot = registry::global().snapshot();
+    let mut out = String::new();
+    out.push_str("── telemetry profile ───────────────────────────────────────────────────────\n");
+
+    if snapshot.spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
+        out.push_str(&format!(
+            "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9}\n",
+            "span", "count", "total", "self", "p50", "p99"
+        ));
+        // Sorted paths give a stable depth-first tree: `a` < `a/b` < `ab`
+        // does not hold in general, but `/` sorts before alphanumerics in
+        // the keys we build (span names avoid punctuation below `/`).
+        let ordered: BTreeMap<&str, &SpanStats> = snapshot
+            .spans
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
+            .collect();
+        for (path, stats) in &ordered {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            // Self time = cumulative minus direct children's cumulative.
+            let children_total: Duration = ordered
+                .iter()
+                .filter(|(p, _)| {
+                    p.strip_prefix(*path)
+                        .and_then(|rest| rest.strip_prefix('/'))
+                        .is_some_and(|rest| !rest.contains('/'))
+                })
+                .map(|(_, s)| s.total)
+                .sum();
+            let self_time = stats.total.saturating_sub(children_total);
+            out.push_str(&format!(
+                "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9}\n",
+                format!("{}{}", "  ".repeat(depth), name),
+                stats.count,
+                fmt_duration(stats.total),
+                fmt_duration(self_time),
+                fmt_duration(stats.p50),
+                fmt_duration(stats.p99),
+            ));
+        }
+    }
+
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters\n");
+        let ordered: BTreeMap<_, _> = snapshot.counters.iter().collect();
+        for (name, value) in ordered {
+            out.push_str(&format!("  {name:<42} {value:>20}\n"));
+        }
+    }
+
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges\n");
+        let ordered: BTreeMap<_, _> = snapshot.gauges.iter().collect();
+        for (name, value) in ordered {
+            out.push_str(&format!("  {name:<42} {value:>20}\n"));
+        }
+    }
+
+    out.push_str("────────────────────────────────────────────────────────────────────────────\n");
+    out
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(250)), "250.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -1,0 +1,113 @@
+//! Pluggable event sinks: stderr console, JSONL file, in-memory capture.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Receives every emitted [`Event`].
+pub trait Sink: Send {
+    fn record(&mut self, event: &Event);
+
+    fn flush(&mut self) {}
+
+    /// Whether this sink should only see events at or below the active
+    /// level. Console sinks return `true`; recording sinks (JSONL, memory)
+    /// return `false` and capture everything for later analysis.
+    fn respects_level(&self) -> bool {
+        true
+    }
+}
+
+/// Human-readable console logger on stderr (stdout stays reserved for
+/// result tables).
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&mut self, event: &Event) {
+        eprintln!(
+            "[{:>10.3}ms {:>5}] {}",
+            event.ts_us as f64 / 1000.0,
+            event.level,
+            event.human_readable()
+        );
+    }
+}
+
+/// Machine-readable sink: one JSON object per line.
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+}
+
+impl JsonlSink {
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink { writer: BufWriter::new(File::create(path)?) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        if let Ok(line) = serde_json::to_string(event) {
+            // Log I/O failures must never take down a run.
+            let _ = writeln!(self.writer, "{line}");
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+
+    fn respects_level(&self) -> bool {
+        false
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Captures events in memory; clone the handle to inspect from a test while
+/// the sink registry owns the other clone.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Copies out everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Captured events with the given name.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+
+    fn respects_level(&self) -> bool {
+        false
+    }
+}

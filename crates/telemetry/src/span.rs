@@ -1,0 +1,71 @@
+//! RAII span guards with per-thread nesting.
+
+use crate::event::{FieldValue, Level};
+use crate::registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// The stack of open span names on this thread. Paths are the stack
+    /// joined with `/`, so nesting is tracked per thread while aggregation
+    /// is global.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`crate::span`]; records the elapsed time under the
+/// span's full path when dropped.
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    pub(crate) fn enter(name: &'static str) -> SpanGuard {
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        SpanGuard { path, start: Instant::now() }
+    }
+
+    /// The full `/`-joined path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let first = registry::global().record_span(&self.path, elapsed);
+        // Every occurrence is visible at debug level; below that, the first
+        // completion per path still emits one event so recording sinks
+        // (JSONL/memory) always capture an example of every span path
+        // without drowning in per-sample records.
+        if first || crate::enabled(Level::Debug) {
+            crate::event(
+                Level::Debug,
+                "span",
+                &[
+                    ("path", FieldValue::Str(self.path.clone())),
+                    ("dur_us", FieldValue::U64(elapsed.as_micros() as u64)),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn guard_exposes_path() {
+        let a = crate::span("alpha");
+        assert_eq!(a.path(), "alpha");
+        let b = crate::span("beta");
+        assert_eq!(b.path(), "alpha/beta");
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end tests of the telemetry crate: cross-thread span nesting,
+//! percentile aggregation, JSONL round-trips, and level filtering.
+//!
+//! All tests mutate the process-global registry/sink state, so they share a
+//! mutex and restore a clean slate before and after each body.
+
+use hqnn_telemetry as telemetry;
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn with_clean_state(f: impl FnOnce()) {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset();
+    telemetry::set_level(telemetry::Level::Off);
+    f();
+    telemetry::reset();
+}
+
+#[test]
+fn span_nesting_is_tracked_per_thread() {
+    with_clean_state(|| {
+        let _outer = telemetry::span("main");
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    // A fresh thread starts with an empty span stack: its
+                    // spans must NOT nest under the main thread's `main`.
+                    let outer = telemetry::span("worker");
+                    assert_eq!(outer.path(), "worker");
+                    for _ in 0..3 {
+                        let inner = telemetry::span("step");
+                        assert_eq!(inner.path(), "worker/step");
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        let snap = telemetry::snapshot();
+        assert_eq!(snap.spans["worker"].count, 4);
+        assert_eq!(snap.spans["worker/step"].count, 12);
+        assert!(!snap.spans.contains_key("main/worker"));
+        // Total time of a parent covers its children.
+        assert!(snap.spans["worker"].total >= snap.spans["worker/step"].total);
+    });
+}
+
+#[test]
+fn percentiles_match_known_distribution() {
+    with_clean_state(|| {
+        // 1..=1000 µs, shuffled order must not matter.
+        for i in (1..=1000u64).rev() {
+            telemetry::record_duration("dist", Duration::from_micros(i));
+        }
+        let stats = &telemetry::snapshot().spans["dist"];
+        assert_eq!(stats.count, 1000);
+        assert_eq!(stats.min, Duration::from_micros(1));
+        assert_eq!(stats.max, Duration::from_micros(1000));
+        // Nearest-rank on the full (un-evicted) sample set is exact.
+        assert_eq!(stats.p50, Duration::from_micros(500));
+        assert_eq!(stats.p99, Duration::from_micros(990));
+        assert_eq!(stats.total, Duration::from_micros(500_500));
+    });
+}
+
+#[test]
+fn percentiles_stay_sane_past_reservoir_capacity() {
+    with_clean_state(|| {
+        // 100_000 samples uniform in 0..100ms — far beyond the reservoir
+        // cap, so p50/p99 are estimates; they must stay within a loose
+        // tolerance of the true quantiles.
+        for i in 0..100_000u64 {
+            let us = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) % 100_000;
+            telemetry::record_duration("big", Duration::from_micros(us));
+        }
+        let stats = &telemetry::snapshot().spans["big"];
+        assert_eq!(stats.count, 100_000);
+        let p50_ms = stats.p50.as_secs_f64() * 1e3;
+        let p99_ms = stats.p99.as_secs_f64() * 1e3;
+        assert!((40.0..60.0).contains(&p50_ms), "p50 {p50_ms}ms");
+        assert!(p99_ms > 90.0, "p99 {p99_ms}ms");
+    });
+}
+
+#[test]
+fn jsonl_sink_round_trips_through_serde_json() {
+    with_clean_state(|| {
+        let path = std::env::temp_dir().join(format!(
+            "hqnn-telemetry-test-{}.jsonl",
+            std::process::id()
+        ));
+        telemetry::add_jsonl_sink(&path).unwrap();
+
+        telemetry::event(
+            telemetry::Level::Info,
+            "nn.epoch",
+            &[
+                ("epoch", 3u64.into()),
+                ("train_loss", 0.25f64.into()),
+                ("passed", true.into()),
+                ("model", "C-8-6".into()),
+                ("delta", (-2i64).into()),
+            ],
+        );
+        telemetry::event(telemetry::Level::Error, "bare", &[]);
+        telemetry::flush();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+
+        // Each line is a flat JSON object: ts_us/level/event + the fields.
+        let ev: telemetry::Event = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(ev.level, telemetry::Level::Info);
+        assert_eq!(ev.name, "nn.epoch");
+        assert_eq!(ev.fields.len(), 5);
+        assert_eq!(ev.fields[0], ("epoch".to_string(), 3u64.into()));
+        assert_eq!(ev.fields[1], ("train_loss".to_string(), 0.25f64.into()));
+        assert_eq!(ev.fields[2], ("passed".to_string(), true.into()));
+        assert_eq!(ev.fields[3], ("model".to_string(), "C-8-6".into()));
+        assert_eq!(ev.fields[4], ("delta".to_string(), (-2i64).into()));
+
+        // Byte-level schema check on the bare event.
+        let value: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        let entries = value.as_map("event").unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].0, "ts_us");
+        assert_eq!(entries[1].0, "level");
+        assert_eq!(entries[2].0, "event");
+
+        // Re-serialising an event reproduces the exact line (f64 fields
+        // survive bit-exactly thanks to shortest-roundtrip formatting).
+        assert_eq!(serde_json::to_string(&ev).unwrap(), lines[0]);
+    });
+}
+
+#[test]
+fn memory_sink_sees_all_levels_but_console_filter_applies() {
+    with_clean_state(|| {
+        telemetry::set_level(telemetry::Level::Info);
+        let mem = telemetry::add_memory_sink();
+        telemetry::event(telemetry::Level::Info, "visible", &[]);
+        telemetry::event(telemetry::Level::Trace, "hidden_from_console", &[]);
+        // Recording sinks capture everything regardless of level.
+        assert_eq!(mem.events().len(), 2);
+        assert_eq!(mem.events_named("visible").len(), 1);
+        assert_eq!(mem.events_named("hidden_from_console").len(), 1);
+        assert!(!telemetry::enabled(telemetry::Level::Trace));
+        assert!(telemetry::enabled(telemetry::Level::Info));
+    });
+}
+
+#[test]
+fn env_var_levels_parse() {
+    // Pure parser test — no global state involved.
+    for (s, expected) in [
+        ("off", telemetry::Level::Off),
+        ("error", telemetry::Level::Error),
+        ("info", telemetry::Level::Info),
+        ("debug", telemetry::Level::Debug),
+        ("trace", telemetry::Level::Trace),
+        ("INFO", telemetry::Level::Info),
+    ] {
+        assert_eq!(s.parse::<telemetry::Level>().unwrap(), expected, "{s}");
+    }
+    assert!("verbose".parse::<telemetry::Level>().is_err());
+}
+
+#[test]
+fn spans_emit_first_occurrence_events_below_debug() {
+    with_clean_state(|| {
+        telemetry::set_level(telemetry::Level::Info);
+        let mem = telemetry::add_memory_sink();
+        for _ in 0..5 {
+            let _s = telemetry::span("qsim.adjoint");
+        }
+        // Below debug, only the first completion of a path emits an event;
+        // the registry still aggregates every occurrence.
+        let span_events = mem.events_named("span");
+        assert_eq!(span_events.len(), 1);
+        assert_eq!(
+            span_events[0].fields[0],
+            ("path".to_string(), "qsim.adjoint".into())
+        );
+        assert_eq!(telemetry::snapshot().spans["qsim.adjoint"].count, 5);
+
+        // At debug, every completion emits.
+        telemetry::set_level(telemetry::Level::Debug);
+        mem.clear();
+        for _ in 0..3 {
+            let _s = telemetry::span("qsim.adjoint");
+        }
+        assert_eq!(mem.events_named("span").len(), 3);
+    });
+}
+
+#[test]
+fn report_renders_nested_tree_with_percentiles() {
+    with_clean_state(|| {
+        {
+            let _a = telemetry::span("repro");
+            for _ in 0..10 {
+                let _b = telemetry::span("train");
+                let _c = telemetry::span("epoch");
+            }
+        }
+        telemetry::counter("qsim.gate_applies", 1234);
+        telemetry::gauge("flops.winner", 2537.0);
+        let report = telemetry::report();
+        assert!(report.contains("repro"), "{report}");
+        assert!(report.contains("  train"), "{report}");
+        assert!(report.contains("    epoch"), "{report}");
+        assert!(report.contains("p50"), "{report}");
+        assert!(report.contains("p99"), "{report}");
+        assert!(report.contains("qsim.gate_applies"), "{report}");
+        assert!(report.contains("1234"), "{report}");
+        assert!(report.contains("flops.winner"), "{report}");
+    });
+}

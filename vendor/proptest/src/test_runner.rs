@@ -1,0 +1,91 @@
+//! Deterministic case runner.
+
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (stands in for proptest's `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    /// 64 cases, overridable with `PROPTEST_CASES` (real proptest defaults to
+    /// 256; the lower default keeps the simulator-heavy suites quick).
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Config { cases }
+    }
+}
+
+/// Deterministic xoshiro256** stream used for sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut z = seed;
+        let mut next = move || {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Samples `config.cases` inputs from `strategy` and runs `test` on each.
+/// On panic, reports the case index and the input, then re-panics.
+pub fn run<S: Strategy>(config: &Config, strategy: S, test: impl Fn(S::Value)) {
+    // Fixed base seed: failures reproduce exactly across runs and machines.
+    let mut rng = TestRng::from_seed(0x00c0_ffee_5eed);
+    for case in 0..config.cases {
+        let value = strategy.sample(&mut rng);
+        let rendered = format!("{value:?}");
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| test(value))) {
+            eprintln!(
+                "proptest case {}/{} failed with input: {}",
+                case + 1,
+                config.cases,
+                rendered
+            );
+            resume_unwind(panic);
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build container has no network access and no cached registry, so the
+//! workspace vendors the *subset* of serde it actually uses: the
+//! `Serialize`/`Deserialize` traits, derive macros for plain structs and
+//! enums, and impls for the primitive/container types that appear in this
+//! repo's data model. Instead of serde's zero-copy visitor architecture,
+//! everything routes through a self-describing [`Content`] tree — dramatically
+//! simpler, and fully adequate for the JSON persistence and telemetry logging
+//! this workspace does.
+//!
+//! The derive macros (`#[derive(Serialize, Deserialize)]`) are provided by the
+//! sibling `serde_derive` stub and generate `to_content`/`from_content`
+//! implementations following serde's standard externally-tagged data model:
+//! structs → maps, unit variants → strings, newtype variants →
+//! `{"Variant": value}`, tuple variants → `{"Variant": [..]}`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing serialized value, the interchange format between
+/// `Serialize`/`Deserialize` impls and data formats such as `serde_json`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    Bool(bool),
+    /// Unsigned integers (u8..u64, usize).
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Ordered key–value map (struct fields, enum tagging, JSON objects).
+    Map(Vec<(String, Content)>),
+}
+
+/// Error produced when reconstructing a value from a [`Content`] tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl Content {
+    /// The JSON-ish type name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) => "unsigned integer",
+            Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+
+    /// Expects a map, with `ty` naming the target type for error messages.
+    pub fn as_map(&self, ty: &str) -> Result<&[(String, Content)], DeError> {
+        match self {
+            Content::Map(entries) => Ok(entries),
+            other => Err(DeError(format!(
+                "expected object for `{ty}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Expects a sequence of exactly `len` items.
+    pub fn as_tuple(&self, len: usize, ty: &str) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(items) if items.len() == len => Ok(items),
+            Content::Seq(items) => Err(DeError(format!(
+                "expected array of length {len} for `{ty}`, found length {}",
+                items.len()
+            ))),
+            other => Err(DeError(format!(
+                "expected array for `{ty}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Looks up and deserializes a struct field by name (derive-generated code).
+pub fn field<T: Deserialize>(
+    entries: &[(String, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v)
+            .map_err(|e| DeError(format!("in field `{ty}.{name}`: {}", e.0))),
+        // Missing key: types with a null form (notably `Option`) default, so
+        // structs can grow optional fields without invalidating cached JSON.
+        None => T::from_content(&Content::Null)
+            .map_err(|_| DeError(format!("missing field `{name}` for `{ty}`"))),
+    }
+}
+
+/// Decodes an externally-tagged enum: either a bare string (unit variant) or
+/// a single-entry map `{variant: payload}`. Returns `(variant, payload)`,
+/// with `Content::Null` standing in for a missing payload.
+pub fn variant<'c>(content: &'c Content, ty: &str) -> Result<(&'c str, &'c Content), DeError> {
+    const UNIT: &Content = &Content::Null;
+    match content {
+        Content::Str(name) => Ok((name.as_str(), UNIT)),
+        Content::Map(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), &entries[0].1))
+        }
+        other => Err(DeError(format!(
+            "expected enum `{ty}` (string or single-key object), found {}",
+            other.kind()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for primitives and containers
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                        v as u64
+                    }
+                    ref other => {
+                        return Err(DeError(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError(format!("{v} out of range for i64")))?,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    ref other => {
+                        return Err(DeError(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    ref other => Err(DeError(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError(format!(
+                "expected single-char string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_content() {
+                        Content::Str(s) => s,
+                        other => render_key(&other),
+                    };
+                    (key, v.to_content())
+                })
+                .collect(),
+        )
+    }
+}
+
+fn render_key(c: &Content) -> String {
+    match c {
+        Content::U64(v) => v.to_string(),
+        Content::I64(v) => v.to_string(),
+        Content::Bool(b) => b.to_string(),
+        Content::Str(s) => s.clone(),
+        other => format!("{other:?}"),
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = c.as_tuple(LEN, "tuple")?;
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            other => Err(DeError(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+// `Content` round-trips through itself, giving data formats a `Value`-like
+// dynamic type for free.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
