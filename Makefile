@@ -3,7 +3,7 @@
 CARGO ?= cargo
 PROFILE_DIR ?= experiment-results
 
-.PHONY: build test repro profile smoke fmt clippy clean
+.PHONY: build test repro profile smoke bench bench-check bench-smoke bench-baseline fmt clippy clean
 
 build:
 	$(CARGO) build --release --workspace
@@ -26,6 +26,24 @@ profile:
 smoke:
 	$(CARGO) run -p hqnn-bench --release --bin repro -- --smoke --fresh \
 		--cache /tmp/hqnn-smoke --log-json /tmp/hqnn-smoke.jsonl
+
+# Microbenchmark suite: writes bench/BENCH_<stamp>.json with run manifest,
+# median/MAD timings, throughput, and measured-vs-analytic FLOPs efficiency.
+bench:
+	$(CARGO) run -p hqnn-perfbench --release --bin perfbench
+
+# Same run, then gate against the committed baseline: exits non-zero when
+# any benchmark regresses beyond its noise-aware threshold.
+bench-check:
+	$(CARGO) run -p hqnn-perfbench --release --bin perfbench -- --check
+
+# CI scale: identical workloads, minimum iterations (seconds total).
+bench-smoke:
+	$(CARGO) run -p hqnn-perfbench --release --bin perfbench -- --smoke
+
+# Rewrite bench/baseline.json from a fresh full-scale run on this machine.
+bench-baseline:
+	$(CARGO) run -p hqnn-perfbench --release --bin perfbench -- --update-baseline
 
 fmt:
 	$(CARGO) fmt --all

@@ -19,7 +19,7 @@ fn main() {
         ran |= ensure_family(&mut study, family);
     }
     if ran {
-        cli.save_study(&study);
+        cli.save_study(&mut study);
     }
     let csv_path = cli.study_path().with_extension("csv");
     write_artifact(&csv_path, &report::winners_csv(&study));

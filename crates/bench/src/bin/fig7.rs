@@ -14,7 +14,7 @@ fn main() {
     let cli = Cli::parse();
     let mut study = cli.load_study();
     if ensure_family(&mut study, Family::HybridBel) {
-        cli.save_study(&study);
+        cli.save_study(&mut study);
     }
     println!(
         "{}",

@@ -18,7 +18,7 @@ fn main() {
         ran |= ensure_family(&mut study, family);
     }
     if ran {
-        cli.save_study(&study);
+        cli.save_study(&mut study);
     }
     println!("{}", report::parameter_table(&study));
     println!(

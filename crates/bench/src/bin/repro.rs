@@ -21,7 +21,7 @@ fn main() {
         ran |= ensure_family(&mut study, family);
     }
     if ran {
-        cli.save_study(&study);
+        cli.save_study(&mut study);
     }
 
     let mut md = String::new();

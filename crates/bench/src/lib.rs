@@ -11,7 +11,13 @@
 //! * `--fresh` — ignore any cached study and re-run;
 //! * `--log-json <path>` — write every telemetry event as one JSON object
 //!   per line to `path`;
+//! * `--trace-out <path>` — write a Chrome trace-event JSON of every span
+//!   (plus a sibling `.folded` flamegraph input) at exit;
 //! * `--quiet` — suppress stderr progress (result tables still print).
+//!
+//! Every invocation emits a `run.manifest` event (git SHA, build profile,
+//! thread count, config hash) into its JSONL log, and stamps the same
+//! manifest into the cached study JSON it writes.
 //!
 //! Progress goes through [`hqnn_telemetry`]: stderr verbosity follows
 //! `HQNN_LOG` (default `info` for binaries), and every binary ends by
@@ -81,6 +87,9 @@ pub struct Cli {
     pub fresh: bool,
     /// Mirror every telemetry event to this JSONL file.
     pub log_json: Option<PathBuf>,
+    /// Write a Chrome trace-event JSON of every span to this file (plus a
+    /// sibling `.folded` collapsed-stack file for flamegraphs).
+    pub trace_out: Option<PathBuf>,
     /// Suppress stderr progress output.
     pub quiet: bool,
 }
@@ -113,6 +122,13 @@ impl Cli {
                     };
                     cli.log_json = Some(PathBuf::from(path));
                 }
+                "--trace-out" => {
+                    let Some(path) = args.next() else {
+                        eprintln!("--trace-out requires a file argument");
+                        exit(2);
+                    };
+                    cli.trace_out = Some(PathBuf::from(path));
+                }
                 "--help" | "-h" => {
                     println!(
                         "usage: <figure-binary> [--paper|--fast|--full-levels|--smoke] [--cache DIR] [--fresh]\n\
@@ -124,6 +140,7 @@ impl Cli {
                          --cache        study cache directory (default experiment-results/)\n\
                          --fresh        ignore cached results and re-run\n\
                          --log-json     mirror telemetry events to a JSONL file\n\
+                         --trace-out    write a Chrome trace JSON (+ .folded flamegraph input)\n\
                          --quiet        suppress stderr progress (tables still print)"
                     );
                     exit(0);
@@ -154,6 +171,23 @@ impl Cli {
                 exit(2);
             }
         }
+        if self.trace_out.is_some() {
+            telemetry::trace::enable();
+        }
+        // Stamp provenance into the run log before any measurement happens,
+        // so every JSONL file is self-describing.
+        telemetry::event(
+            telemetry::Level::Info,
+            "run.manifest",
+            &self.manifest().fields(),
+        );
+    }
+
+    /// The provenance record for this invocation: host/git/build context plus
+    /// the hash of the selected profile's experiment configuration.
+    pub fn manifest(&self) -> telemetry::RunManifest {
+        telemetry::RunManifest::capture(self.profile.tag())
+            .with_config_hash(&self.profile.experiment_config())
     }
 
     /// Flushes sinks and prints the end-of-run span-tree profile to stderr
@@ -161,6 +195,37 @@ impl Cli {
     /// binary, after the result tables.
     pub fn finish(&self) {
         telemetry::flush();
+        if let Some(path) = &self.trace_out {
+            match std::fs::write(path, telemetry::trace::chrome_trace_json()) {
+                Ok(()) => telemetry::event(
+                    telemetry::Level::Info,
+                    "trace.written",
+                    &[
+                        ("path", path.display().to_string().into()),
+                        ("dropped", telemetry::trace::dropped().into()),
+                    ],
+                ),
+                Err(e) => telemetry::event(
+                    telemetry::Level::Error,
+                    "trace.write_failed",
+                    &[
+                        ("path", path.display().to_string().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                ),
+            }
+            let folded = path.with_extension("folded");
+            if let Err(e) = std::fs::write(&folded, telemetry::trace::collapsed_stacks()) {
+                telemetry::event(
+                    telemetry::Level::Error,
+                    "trace.write_failed",
+                    &[
+                        ("path", folded.display().to_string().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+            }
+        }
         if telemetry::enabled(telemetry::Level::Error) {
             eprintln!("{}", telemetry::report());
         }
@@ -195,9 +260,11 @@ impl Cli {
         StudyResult::new(config)
     }
 
-    /// Saves the study back to the cache, warning on failure rather than
-    /// aborting (the printed tables are the primary output).
-    pub fn save_study(&self, study: &StudyResult) {
+    /// Saves the study back to the cache, stamping it with this run's
+    /// manifest first; failures warn rather than abort (the printed tables
+    /// are the primary output).
+    pub fn save_study(&self, study: &mut StudyResult) {
+        study.manifest = Some(self.manifest());
         if let Err(e) = study.save(self.study_path()) {
             telemetry::event(
                 telemetry::Level::Error,
@@ -220,6 +287,7 @@ impl Default for Cli {
             cache_dir: PathBuf::from("experiment-results"),
             fresh: false,
             log_json: None,
+            trace_out: None,
             quiet: false,
         }
     }

@@ -167,6 +167,7 @@ pub fn train(
             let (loss, grad) = loss_fn.loss_and_grad(&logits, &targets);
             model.backward(&grad);
             model.apply_gradients(optimizer);
+            telemetry::counter("nn.train_steps", 1);
             epoch_loss += loss;
             batches += 1;
         }

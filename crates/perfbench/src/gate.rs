@@ -1,0 +1,166 @@
+//! The regression gate: noise-aware comparison of a benchmark run against a
+//! committed baseline.
+//!
+//! A fixed percentage threshold either cries wolf on noisy benchmarks or
+//! sleeps through real regressions on stable ones. The gate therefore takes
+//! the larger of a relative floor and a multiple of the measured noise
+//! (MAD) — a benchmark must be slower than the baseline by *more than its
+//! own jitter* before it fails the build.
+
+use crate::report::BenchReport;
+
+/// Tunable thresholds of the regression gate.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct GateConfig {
+    /// Relative slowdown floor below which deltas are never flagged
+    /// (`0.10` = 10 %).
+    pub rel_threshold: f64,
+    /// How many MADs (the larger of baseline's and current's, relative to
+    /// the baseline median) of slack the noise term grants.
+    pub mad_multiplier: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            rel_threshold: 0.10,
+            mad_multiplier: 4.0,
+        }
+    }
+}
+
+/// What the gate concluded about one benchmark.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Faster than the baseline by more than the allowed band.
+    Improvement,
+    /// Slower than the baseline by more than the allowed band — fails the
+    /// gate.
+    Regression,
+    /// Inside the noise band.
+    WithinNoise,
+    /// Present in this run but absent from the baseline (new benchmark).
+    New,
+    /// Present in the baseline but absent from this run (renamed, removed,
+    /// or filtered out).
+    Missing,
+}
+
+/// One benchmark's baseline-vs-current comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comparison {
+    /// Benchmark id.
+    pub id: String,
+    /// Baseline median (ns); 0 for [`Verdict::New`].
+    pub baseline_median_ns: u64,
+    /// Current median (ns); 0 for [`Verdict::Missing`].
+    pub current_median_ns: u64,
+    /// Relative change `(current − baseline) / baseline` (0 when either
+    /// side is absent).
+    pub delta: f64,
+    /// The allowed band the delta was judged against.
+    pub allowed: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Compares `current` against `baseline`, one [`Comparison`] per benchmark
+/// id seen on either side (baseline order first, then new ids in run order).
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    config: &GateConfig,
+) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for base in &baseline.results {
+        let Some(cur) = current.result(&base.id) else {
+            out.push(Comparison {
+                id: base.id.clone(),
+                baseline_median_ns: base.median_ns,
+                current_median_ns: 0,
+                delta: 0.0,
+                allowed: 0.0,
+                verdict: Verdict::Missing,
+            });
+            continue;
+        };
+        let base_median = (base.median_ns.max(1)) as f64;
+        let delta = (cur.median_ns as f64 - base_median) / base_median;
+        let noise = config.mad_multiplier * base.mad_ns.max(cur.mad_ns) as f64 / base_median;
+        let allowed = config.rel_threshold.max(noise);
+        let verdict = if delta > allowed {
+            Verdict::Regression
+        } else if delta < -allowed {
+            Verdict::Improvement
+        } else {
+            Verdict::WithinNoise
+        };
+        out.push(Comparison {
+            id: base.id.clone(),
+            baseline_median_ns: base.median_ns,
+            current_median_ns: cur.median_ns,
+            delta,
+            allowed,
+            verdict,
+        });
+    }
+    for cur in &current.results {
+        if baseline.result(&cur.id).is_none() {
+            out.push(Comparison {
+                id: cur.id.clone(),
+                baseline_median_ns: 0,
+                current_median_ns: cur.median_ns,
+                delta: 0.0,
+                allowed: 0.0,
+                verdict: Verdict::New,
+            });
+        }
+    }
+    out
+}
+
+/// Whether any comparison fails the gate.
+pub fn has_regressions(comparisons: &[Comparison]) -> bool {
+    comparisons.iter().any(|c| c.verdict == Verdict::Regression)
+}
+
+/// Renders the comparison table for stdout.
+pub fn render(comparisons: &[Comparison]) -> String {
+    let mut out = format!(
+        "{:<26} {:>14} {:>14} {:>9} {:>9}  verdict\n",
+        "benchmark", "baseline", "current", "delta", "allowed"
+    );
+    for c in comparisons {
+        let (delta, allowed) = match c.verdict {
+            Verdict::New | Verdict::Missing => ("-".to_string(), "-".to_string()),
+            _ => (
+                format!("{:+.1}%", c.delta * 100.0),
+                format!("±{:.1}%", c.allowed * 100.0),
+            ),
+        };
+        out.push_str(&format!(
+            "{:<26} {:>14} {:>14} {:>9} {:>9}  {}\n",
+            c.id,
+            if c.baseline_median_ns == 0 {
+                "-".to_string()
+            } else {
+                format!("{}ns", c.baseline_median_ns)
+            },
+            if c.current_median_ns == 0 {
+                "-".to_string()
+            } else {
+                format!("{}ns", c.current_median_ns)
+            },
+            delta,
+            allowed,
+            match c.verdict {
+                Verdict::Improvement => "improvement",
+                Verdict::Regression => "REGRESSION",
+                Verdict::WithinNoise => "within noise",
+                Verdict::New => "new (no baseline)",
+                Verdict::Missing => "missing from run",
+            }
+        ));
+    }
+    out
+}

@@ -1,0 +1,39 @@
+//! Deterministic microbenchmarks for the hqnn workspace, with provenance
+//! manifests, derived throughput/efficiency metrics, and a noise-aware
+//! baseline regression gate.
+//!
+//! The paper this repo reproduces argues about *computational cost*, so the
+//! workspace needs trustworthy numbers for what its own hot paths cost on
+//! real hardware — and a tripwire for when a change makes them worse:
+//!
+//! - [`suite`]: seeded, repeatable workloads over the hot paths (tensor
+//!   matmul, gate application, statevector evolution, adjoint and
+//!   parameter-shift gradients, classical/hybrid train steps, one full
+//!   search-combo evaluation). Workloads are identical at every scale;
+//!   `--smoke` only trims iteration counts, so medians stay comparable.
+//! - [`stats`]: median/MAD summaries — robust to the one-sided scheduler
+//!   outliers that wreck means.
+//! - [`report`]: the `BENCH_<stamp>.json` schema. Each result pairs its
+//!   measured wall time with the `hqnn-flops` analytic cost of the same
+//!   workload, yielding measured FLOPs/sec and an efficiency ratio relative
+//!   to the dense-matmul reference.
+//! - [`gate`]: compares a run against `bench/baseline.json`, flagging only
+//!   deltas that exceed both a relative floor and a multiple of the
+//!   measured noise (MAD).
+//!
+//! The `perfbench` binary ties it together: `make bench` writes a stamped
+//! JSON report, `make bench-check` exits non-zero on regression, and
+//! `--trace-out` additionally captures a Chrome-trace timeline of the run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod report;
+pub mod stats;
+pub mod suite;
+
+pub use gate::{compare, has_regressions, Comparison, GateConfig, Verdict};
+pub use report::{BenchReport, BenchResult, SCHEMA_VERSION};
+pub use stats::{summarize, Summary};
+pub use suite::{default_suite, run_suite, Benchmark, Scale, REFERENCE_BENCH};

@@ -1,0 +1,97 @@
+//! Robust summary statistics for benchmark timings.
+//!
+//! Medians and the median absolute deviation (MAD) instead of mean/stddev:
+//! wall-clock samples on a shared machine are contaminated by one-sided
+//! outliers (scheduler preemption, page faults), which shift a mean badly
+//! but leave the median almost untouched. The MAD doubles as the noise
+//! scale the regression gate uses for its adaptive threshold.
+
+/// Robust summary of one benchmark's timed iterations (all in nanoseconds).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Median iteration time.
+    pub median_ns: u64,
+    /// Median absolute deviation from the median.
+    pub mad_ns: u64,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+    /// Arithmetic mean (reported for reference; the gate ignores it).
+    pub mean_ns: u64,
+}
+
+/// Summarises a non-empty set of per-iteration timings.
+///
+/// # Panics
+///
+/// Panics if `samples_ns` is empty.
+pub fn summarize(samples_ns: &[u64]) -> Summary {
+    assert!(!samples_ns.is_empty(), "cannot summarise zero samples");
+    let median = median_u64(samples_ns);
+    let deviations: Vec<u64> = samples_ns.iter().map(|&s| s.abs_diff(median)).collect();
+    Summary {
+        iters: samples_ns.len() as u64,
+        median_ns: median,
+        mad_ns: median_u64(&deviations),
+        min_ns: *samples_ns.iter().min().unwrap(),
+        max_ns: *samples_ns.iter().max().unwrap(),
+        mean_ns: (samples_ns.iter().map(|&s| s as u128).sum::<u128>() / samples_ns.len() as u128)
+            as u64,
+    }
+}
+
+/// Median of a slice (average of the middle two for even counts).
+fn median_u64(samples: &[u64]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_count_median_is_exact() {
+        let s = summarize(&[5, 1, 9, 3, 7]);
+        assert_eq!(s.median_ns, 5);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 9);
+        assert_eq!(s.mean_ns, 5);
+        assert_eq!(s.iters, 5);
+        // Deviations from 5: [0, 4, 4, 2, 2] → median 2.
+        assert_eq!(s.mad_ns, 2);
+    }
+
+    #[test]
+    fn even_count_median_averages_middle_pair() {
+        let s = summarize(&[10, 20, 30, 40]);
+        assert_eq!(s.median_ns, 25);
+        // Deviations: [15, 5, 5, 15] → (5 + 15) / 2.
+        assert_eq!(s.mad_ns, 10);
+    }
+
+    #[test]
+    fn outliers_barely_move_the_median() {
+        let mut samples = vec![100u64; 99];
+        samples.push(1_000_000); // one preempted iteration
+        let s = summarize(&samples);
+        assert_eq!(s.median_ns, 100);
+        assert_eq!(s.mad_ns, 0);
+        assert!(s.mean_ns > 10_000, "the mean is ruined, as expected");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_input_panics() {
+        summarize(&[]);
+    }
+}

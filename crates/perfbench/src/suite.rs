@@ -1,0 +1,388 @@
+//! The benchmark suite: deterministic workloads over the workspace's hot
+//! paths, each paired with its `hqnn-flops` analytic cost where one exists.
+//!
+//! Workloads are **identical** at every scale — `--smoke` only reduces the
+//! warmup/iteration counts — so a smoke run's per-iteration medians are
+//! directly comparable against a full-scale baseline (noisier, but the same
+//! quantity).
+
+use crate::report::BenchResult;
+use crate::stats;
+use hqnn_core::{ClassicalSpec, HybridSpec};
+use hqnn_flops::CostModel;
+use hqnn_nn::{one_hot, Adam, SoftmaxCrossEntropy};
+use hqnn_qsim::{
+    adjoint, parameter_shift, EntanglerKind, GateKind, Observable, QnnTemplate, StateVector,
+};
+use hqnn_search::protocol::{evaluate_combo, prepare_level_data};
+use hqnn_search::SearchConfig;
+use hqnn_telemetry as telemetry;
+use hqnn_tensor::{Matrix, SeededRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// How many warmup and timed iterations each benchmark runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Untimed warmup iterations for light benchmarks.
+    pub light_warmup: u32,
+    /// Timed iterations for light benchmarks.
+    pub light_iters: u32,
+    /// Untimed warmup iterations for heavy (seconds-per-iteration) benchmarks.
+    pub heavy_warmup: u32,
+    /// Timed iterations for heavy benchmarks.
+    pub heavy_iters: u32,
+}
+
+impl Scale {
+    /// The default scale: enough timed iterations for a stable median.
+    pub fn full() -> Self {
+        Self {
+            light_warmup: 5,
+            light_iters: 40,
+            heavy_warmup: 1,
+            heavy_iters: 7,
+        }
+    }
+
+    /// CI scale: same workloads, minimum iteration counts (seconds total).
+    pub fn smoke() -> Self {
+        Self {
+            light_warmup: 2,
+            light_iters: 8,
+            heavy_warmup: 1,
+            heavy_iters: 3,
+        }
+    }
+}
+
+/// One benchmark: a named, repeatable workload plus its reporting metadata.
+pub struct Benchmark {
+    /// Stable identifier (`qsim.adjoint_grad`), the key baselines match on.
+    pub id: &'static str,
+    /// What one unit of throughput means (`gate-applies`, `train-steps`, …).
+    pub throughput_unit: &'static str,
+    /// Units of work performed per timed iteration.
+    pub ops_per_iter: u64,
+    /// Analytic FLOPs per iteration from `hqnn-flops` under the simulation
+    /// cost convention, when the workload has a modelled cost.
+    pub analytic_flops_per_iter: Option<u64>,
+    /// Heavy benchmarks (≳1 s/iteration) get the reduced iteration plan.
+    pub heavy: bool,
+    run: Box<dyn FnMut()>,
+}
+
+impl Benchmark {
+    /// Runs warmup + timed iterations and summarises into a [`BenchResult`]
+    /// (without an efficiency ratio — that needs the whole suite; see
+    /// [`crate::report::BenchReport::compute_efficiency`]).
+    pub fn run(&mut self, scale: Scale) -> BenchResult {
+        let _span = telemetry::span("perfbench.bench");
+        let (warmup, iters) = if self.heavy {
+            (scale.heavy_warmup, scale.heavy_iters)
+        } else {
+            (scale.light_warmup, scale.light_iters)
+        };
+        for _ in 0..warmup {
+            (self.run)();
+        }
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let start = Instant::now();
+            (self.run)();
+            samples.push(start.elapsed().as_nanos() as u64);
+        }
+        let summary = stats::summarize(&samples);
+        telemetry::event(
+            telemetry::Level::Info,
+            "perfbench.result",
+            &[
+                ("id", self.id.into()),
+                ("median_ns", summary.median_ns.into()),
+                ("mad_ns", summary.mad_ns.into()),
+                ("iters", summary.iters.into()),
+            ],
+        );
+        BenchResult::from_summary(
+            self.id,
+            warmup as u64,
+            summary,
+            self.ops_per_iter,
+            self.throughput_unit,
+            self.analytic_flops_per_iter,
+        )
+    }
+}
+
+/// The id of the benchmark every efficiency ratio is normalised against.
+pub const REFERENCE_BENCH: &str = "tensor.matmul";
+
+/// Builds the default suite covering the workspace's hot paths. Every
+/// workload is seeded, so run-to-run variation is timing noise only.
+pub fn default_suite() -> Vec<Benchmark> {
+    let cost = CostModel::simulation();
+    let mut suite = Vec::new();
+
+    // -- tensor.matmul: the reference point for efficiency ratios ---------
+    // A dense 64×64×64 matmul is the closest this workspace gets to peak
+    // arithmetic throughput; every other benchmark's measured FLOPs/sec is
+    // reported relative to it.
+    {
+        const N: usize = 64;
+        let mut rng = SeededRng::new(11);
+        let a = Matrix::uniform(N, N, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(N, N, -1.0, 1.0, &mut rng);
+        suite.push(Benchmark {
+            id: REFERENCE_BENCH,
+            throughput_unit: "matmuls",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: Some(2 * (N * N * N) as u64),
+            heavy: false,
+            run: Box::new(move || {
+                black_box(black_box(&a).matmul(black_box(&b)));
+            }),
+        });
+    }
+
+    // -- qsim.gate_apply: raw single-qubit gate application ---------------
+    {
+        const QUBITS: usize = 10;
+        const APPLIES: u64 = 64;
+        let gate = GateKind::RY.matrix(0.3);
+        let mut state = StateVector::new(QUBITS);
+        suite.push(Benchmark {
+            id: "qsim.gate_apply",
+            throughput_unit: "gate-applies",
+            ops_per_iter: APPLIES,
+            analytic_flops_per_iter: Some(APPLIES * cost.single_qubit_gate(QUBITS)),
+            heavy: false,
+            run: Box::new(move || {
+                for i in 0..APPLIES {
+                    state.apply_single(black_box(&gate), (i as usize) % QUBITS);
+                }
+                black_box(&state);
+            }),
+        });
+    }
+
+    // -- qsim.statevector_evolve: full circuit forward pass ---------------
+    {
+        let template = QnnTemplate::new(6, 4, EntanglerKind::Strong);
+        let circuit = template.build();
+        let inputs: Vec<f64> = (0..circuit.input_count())
+            .map(|i| 0.1 + i as f64 * 0.2)
+            .collect();
+        let params: Vec<f64> = (0..circuit.trainable_count())
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect();
+        let flops = cost
+            .circuit_forward(&circuit.op_census(), circuit.n_qubits())
+            .total();
+        suite.push(Benchmark {
+            id: "qsim.statevector_evolve",
+            throughput_unit: "circuit-runs",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: Some(flops),
+            heavy: false,
+            run: Box::new(move || {
+                black_box(circuit.run(black_box(&inputs), black_box(&params)));
+            }),
+        });
+    }
+
+    // -- qsim.adjoint_grad: the gradient engine hybrid training uses ------
+    {
+        let template = QnnTemplate::new(4, 3, EntanglerKind::Strong);
+        let circuit = template.build();
+        let inputs: Vec<f64> = (0..circuit.input_count())
+            .map(|i| 0.2 + i as f64 * 0.15)
+            .collect();
+        let params: Vec<f64> = (0..circuit.trainable_count())
+            .map(|i| (i as f64 * 0.61).cos())
+            .collect();
+        let observables: Vec<Observable> = (0..4).map(Observable::z).collect();
+        let flops = cost.circuit_total(&circuit, observables.len()).total();
+        suite.push(Benchmark {
+            id: "qsim.adjoint_grad",
+            throughput_unit: "grad-evals",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: Some(flops),
+            heavy: false,
+            run: Box::new(move || {
+                black_box(adjoint(black_box(&circuit), &inputs, &params, &observables));
+            }),
+        });
+    }
+
+    // -- qsim.param_shift_grad: the 2-evals-per-parameter alternative -----
+    {
+        let template = QnnTemplate::new(3, 2, EntanglerKind::Strong);
+        let circuit = template.build();
+        let inputs: Vec<f64> = (0..circuit.input_count())
+            .map(|i| 0.3 + i as f64 * 0.25)
+            .collect();
+        let params: Vec<f64> = (0..circuit.trainable_count())
+            .map(|i| (i as f64 * 0.43).sin())
+            .collect();
+        let observables: Vec<Observable> = (0..3).map(Observable::z).collect();
+        let census = circuit.op_census();
+        let n = circuit.n_qubits();
+        let fwd = cost.circuit_forward(&census, n).total();
+        let flops = fwd
+            + cost.circuit_backward_parameter_shift(&census, n, observables.len())
+            + cost.circuit_readout(n, observables.len());
+        suite.push(Benchmark {
+            id: "qsim.param_shift_grad",
+            throughput_unit: "grad-evals",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: Some(flops),
+            heavy: false,
+            run: Box::new(move || {
+                black_box(parameter_shift(
+                    black_box(&circuit),
+                    &inputs,
+                    &params,
+                    &observables,
+                ));
+            }),
+        });
+    }
+
+    // -- nn.train_step_classical: one forward/backward/update -------------
+    {
+        const BATCH: usize = 8;
+        let spec = ClassicalSpec::new(8, vec![16], 3);
+        let mut rng = SeededRng::new(23);
+        let mut model = spec.build(&mut rng);
+        let mut optimizer = Adam::new(0.005);
+        let loss_fn = SoftmaxCrossEntropy;
+        let xb = Matrix::uniform(BATCH, 8, -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..BATCH).map(|i| i % 3).collect();
+        let targets = one_hot(&labels, 3);
+        let flops = BATCH as u64 * cost.mlp(8, &[16], 3);
+        suite.push(Benchmark {
+            id: "nn.train_step_classical",
+            throughput_unit: "train-steps",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: Some(flops),
+            heavy: false,
+            run: Box::new(move || {
+                let logits = model.forward(black_box(&xb), true);
+                let (loss, grad) = loss_fn.loss_and_grad(&logits, &targets);
+                black_box(loss);
+                model.backward(&grad);
+                model.apply_gradients(&mut optimizer);
+            }),
+        });
+    }
+
+    // -- nn.train_step_hybrid: the same step through a quantum layer ------
+    {
+        const BATCH: usize = 4;
+        let spec = HybridSpec::new(6, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong));
+        let mut rng = SeededRng::new(29);
+        let mut model = spec.build(&mut rng);
+        let mut optimizer = Adam::new(0.005);
+        let loss_fn = SoftmaxCrossEntropy;
+        let xb = Matrix::uniform(BATCH, 6, -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..BATCH).map(|i| i % 3).collect();
+        let targets = one_hot(&labels, 3);
+        let flops = BATCH as u64 * spec.flops(&cost).total();
+        suite.push(Benchmark {
+            id: "nn.train_step_hybrid",
+            throughput_unit: "train-steps",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: Some(flops),
+            heavy: false,
+            run: Box::new(move || {
+                let logits = model.forward(black_box(&xb), true);
+                let (loss, grad) = loss_fn.loss_and_grad(&logits, &targets);
+                black_box(loss);
+                model.backward(&grad);
+                model.apply_gradients(&mut optimizer);
+            }),
+        });
+    }
+
+    // -- search.combo: one full protocol combination evaluation -----------
+    // The end-to-end unit the experiment runtime is made of: generate data,
+    // train a candidate to completion, aggregate accuracies. No analytic
+    // FLOPs — accuracy evaluation and data prep are outside the cost model.
+    {
+        let mut config = SearchConfig::smoke();
+        config.dataset_samples = 90;
+        config.train = config.train.with_epochs(4);
+        let data = prepare_level_data(&config, 4);
+        let spec = hqnn_core::ModelSpec::from(ClassicalSpec::new(4, vec![8], 3));
+        let cost_model = cost;
+        suite.push(Benchmark {
+            id: "search.combo",
+            throughput_unit: "combos",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: None,
+            heavy: true,
+            run: Box::new(move || {
+                black_box(evaluate_combo(
+                    black_box(&spec),
+                    &data,
+                    &config,
+                    &cost_model,
+                    17,
+                ));
+            }),
+        });
+    }
+
+    suite
+}
+
+/// Runs every benchmark whose id contains `filter` (all when `None`),
+/// returning results in suite order.
+pub fn run_suite(scale: Scale, filter: Option<&str>) -> Vec<BenchResult> {
+    let _span = telemetry::span("perfbench.suite");
+    let mut results = Vec::new();
+    for mut bench in default_suite() {
+        if let Some(f) = filter {
+            if !bench.id.contains(f) {
+                continue;
+            }
+        }
+        telemetry::event(
+            telemetry::Level::Info,
+            "perfbench.start",
+            &[("id", bench.id.into())],
+        );
+        results.push(bench.run(scale));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_ids_are_unique_and_reference_exists() {
+        let suite = default_suite();
+        let ids: Vec<&str> = suite.iter().map(|b| b.id).collect();
+        let mut deduped = ids.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), ids.len(), "duplicate bench ids");
+        assert!(ids.contains(&REFERENCE_BENCH));
+        assert!(suite.len() >= 8);
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let results = run_suite(Scale::smoke(), Some("tensor.matmul"));
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.id, "tensor.matmul");
+        assert_eq!(r.iters, 8);
+        assert!(r.median_ns > 0);
+        assert!(r.ops_per_sec > 0.0);
+        assert_eq!(r.analytic_flops_per_iter, Some(2 * 64 * 64 * 64));
+        assert!(r.measured_flops_per_sec.unwrap() > 0.0);
+    }
+}

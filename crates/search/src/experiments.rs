@@ -103,6 +103,10 @@ pub struct StudyResult {
     pub hybrid_bel: Vec<LevelResult>,
     /// Fig. 8 data.
     pub hybrid_sel: Vec<LevelResult>,
+    /// Provenance of the run that produced these numbers (git SHA, build
+    /// profile, thread count, …). `None` in studies cached before manifests
+    /// existed — `Option` keeps old JSON loadable.
+    pub manifest: Option<hqnn_telemetry::RunManifest>,
 }
 
 impl StudyResult {
@@ -113,6 +117,7 @@ impl StudyResult {
             classical: Vec::new(),
             hybrid_bel: Vec::new(),
             hybrid_sel: Vec::new(),
+            manifest: None,
         }
     }
 

@@ -37,13 +37,16 @@
 //! ```
 
 mod event;
+pub mod manifest;
 mod registry;
 mod report;
 mod sink;
 mod span;
+pub mod trace;
 
 pub use event::{Event, FieldValue, Level};
-pub use registry::{CounterSnapshot, SpanStats, Snapshot};
+pub use manifest::{config_hash, RunManifest};
+pub use registry::{CounterSnapshot, Snapshot, SpanStats};
 pub use report::report;
 pub use sink::{MemorySink, Sink};
 pub use span::SpanGuard;
@@ -75,11 +78,35 @@ fn sinks() -> &'static Mutex<Vec<Box<dyn Sink>>> {
 /// lazily by every emission path; harmless to call again.
 pub fn init() {
     if LEVEL.load(Ordering::Relaxed) == u8::MAX {
-        let level = std::env::var("HQNN_LOG")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(Level::Error);
-        LEVEL.store(level as u8, Ordering::Relaxed);
+        let raw = std::env::var("HQNN_LOG").ok();
+        apply_env_level(raw.as_deref());
+    }
+}
+
+/// Applies an `HQNN_LOG`-style value. An unrecognised value falls back to
+/// `error` — but loudly: a one-time `telemetry.bad_log_level` event names the
+/// bad value and the accepted spellings instead of silently muting the run.
+fn apply_env_level(raw: Option<&str>) {
+    match raw.map(str::parse::<Level>) {
+        None => LEVEL.store(Level::Error as u8, Ordering::Relaxed),
+        Some(Ok(level)) => LEVEL.store(level as u8, Ordering::Relaxed),
+        Some(Err(err)) => {
+            // Store before emitting: `event` re-enters `init`, which must
+            // see an initialised level.
+            LEVEL.store(Level::Error as u8, Ordering::Relaxed);
+            static WARNED: std::sync::atomic::AtomicBool =
+                std::sync::atomic::AtomicBool::new(false);
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                event(
+                    Level::Error,
+                    "telemetry.bad_log_level",
+                    &[
+                        ("value", raw.unwrap_or_default().into()),
+                        ("error", err.into()),
+                    ],
+                );
+            }
+        }
     }
 }
 
@@ -187,10 +214,13 @@ pub fn snapshot() -> Snapshot {
     registry::global().snapshot()
 }
 
-/// Clears all recorded spans, counters, gauges, and sinks except stderr,
-/// and re-reads the level. Intended for tests and between bench phases.
+/// Clears all recorded spans, counters, gauges, trace records, and sinks
+/// except stderr, disables trace recording, and re-reads the level. Intended
+/// for tests and between bench phases.
 pub fn reset() {
     registry::global().clear();
+    trace::disable();
+    trace::clear();
     let mut sinks = sinks().lock().unwrap();
     sinks.clear();
     sinks.push(Box::new(sink::StderrSink));
@@ -240,6 +270,26 @@ mod tests {
             let snap = snapshot();
             assert_eq!(snap.counters["c"], 5);
             assert_eq!(snap.gauges["g"], 2.5);
+        });
+    }
+
+    #[test]
+    fn bad_env_level_warns_once_and_falls_back() {
+        with_clean_state(|| {
+            let mem = add_memory_sink();
+            apply_env_level(Some("verbose"));
+            assert_eq!(level(), Level::Error, "falls back to error");
+            let warnings = mem.events_named("telemetry.bad_log_level");
+            assert_eq!(warnings.len(), 1, "warns exactly once");
+            let rendered = warnings[0].human_readable();
+            assert!(rendered.contains("verbose"), "names the bad value");
+            assert!(
+                rendered.contains("off|error|info|debug|trace"),
+                "lists accepted levels"
+            );
+            // Re-applying (e.g. another lazy init after reset) must not spam.
+            apply_env_level(Some("chatty"));
+            assert_eq!(mem.events_named("telemetry.bad_log_level").len(), 1);
         });
     }
 

@@ -1,0 +1,167 @@
+//! Run manifests: the provenance record stamped into every measured artifact.
+//!
+//! A benchmark number without its context — which commit, which build
+//! profile, how many hardware threads, which protocol — cannot be compared
+//! against anything later. [`RunManifest::capture`] gathers that context once
+//! per run so bench JSON, cached study JSON, and JSONL run logs all carry it.
+
+use crate::event::FieldValue;
+use serde::{Deserialize, Serialize};
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Provenance of one measured run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// `git rev-parse HEAD` (abbreviated), or `"unknown"` outside a repo.
+    pub git_sha: String,
+    /// Whether the working tree had uncommitted changes.
+    pub git_dirty: bool,
+    /// Protocol/scale tag the binary ran with (`fast`, `smoke`, `bench`, …).
+    pub profile: String,
+    /// Cargo build profile the binary was compiled under.
+    pub cargo_profile: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub host_os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub host_arch: String,
+    /// Host name, or `"unknown"` when undiscoverable.
+    pub hostname: String,
+    /// Hardware threads available to the process.
+    pub threads: usize,
+    /// FNV-1a hash of the run's configuration JSON (`"-"` when not set).
+    pub config_hash: String,
+    /// Seconds since the Unix epoch at capture time.
+    pub timestamp_unix: u64,
+}
+
+impl RunManifest {
+    /// Captures the current process/host/repo context. `profile` tags which
+    /// protocol or benchmark scale the run used.
+    pub fn capture(profile: &str) -> Self {
+        Self {
+            git_sha: git_stdout(&["rev-parse", "--short=12", "HEAD"])
+                .unwrap_or_else(|| "unknown".to_string()),
+            git_dirty: git_stdout(&["status", "--porcelain"])
+                .map(|s| !s.is_empty())
+                .unwrap_or(false),
+            profile: profile.to_string(),
+            cargo_profile: if cfg!(debug_assertions) {
+                "debug".to_string()
+            } else {
+                "release".to_string()
+            },
+            host_os: std::env::consts::OS.to_string(),
+            host_arch: std::env::consts::ARCH.to_string(),
+            hostname: hostname(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            config_hash: "-".to_string(),
+            timestamp_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+
+    /// Stamps the manifest with the hash of the run's configuration, so two
+    /// runs are comparable only when their configs hash identically.
+    pub fn with_config_hash<T: Serialize + ?Sized>(mut self, config: &T) -> Self {
+        self.config_hash = config_hash(config);
+        self
+    }
+
+    /// The manifest as telemetry event fields (for `run.manifest` events in
+    /// JSONL logs).
+    pub fn fields(&self) -> Vec<(&'static str, FieldValue)> {
+        vec![
+            ("git_sha", self.git_sha.clone().into()),
+            ("git_dirty", self.git_dirty.into()),
+            ("profile", self.profile.clone().into()),
+            ("cargo_profile", self.cargo_profile.clone().into()),
+            ("host_os", self.host_os.clone().into()),
+            ("host_arch", self.host_arch.clone().into()),
+            ("hostname", self.hostname.clone().into()),
+            ("threads", self.threads.into()),
+            ("config_hash", self.config_hash.clone().into()),
+            ("timestamp_unix", self.timestamp_unix.into()),
+        ]
+    }
+}
+
+/// FNV-1a (64-bit) over a value's compact JSON rendering, as a fixed-width
+/// hex string. Stable across runs: the vendored serde writes struct fields
+/// in declaration order.
+pub fn config_hash<T: Serialize + ?Sized>(config: &T) -> String {
+    let json = serde_json::to_string(config).unwrap_or_default();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in json.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+fn git_stdout(args: &[&str]) -> Option<String> {
+    let out = Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+fn hostname() -> String {
+    if let Ok(name) = std::fs::read_to_string("/etc/hostname") {
+        let name = name.trim();
+        if !name.is_empty() {
+            return name.to_string();
+        }
+    }
+    std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_fills_every_field() {
+        let m = RunManifest::capture("test-profile");
+        assert_eq!(m.profile, "test-profile");
+        assert!(!m.git_sha.is_empty());
+        assert!(!m.cargo_profile.is_empty());
+        assert!(m.threads >= 1);
+        assert_eq!(m.config_hash, "-");
+        assert!(m.timestamp_unix > 1_600_000_000, "clock is sane");
+    }
+
+    #[test]
+    fn config_hash_is_deterministic_and_sensitive() {
+        let a = config_hash("same config");
+        let b = config_hash("same config");
+        let c = config_hash("other config");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = RunManifest::capture("rt").with_config_hash(&42u64);
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: RunManifest = serde_json::from_str(&json).expect("parse");
+        assert_eq!(m, back);
+        assert_ne!(m.config_hash, "-");
+    }
+
+    #[test]
+    fn fields_cover_the_manifest() {
+        let m = RunManifest::capture("f");
+        let fields = m.fields();
+        let names: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        for key in ["git_sha", "profile", "threads", "config_hash"] {
+            assert!(names.contains(&key), "missing {key}");
+        }
+    }
+}

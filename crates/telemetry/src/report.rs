@@ -1,8 +1,30 @@
 //! End-of-run profile rendering: indented span tree + counters + gauges.
 
 use crate::registry::{self, SpanStats};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
+
+/// Self time (cumulative minus direct children's cumulative) for every span
+/// path, in stable depth-first order. Shared by the profile report and the
+/// collapsed-stack trace export.
+pub(crate) fn self_time_by_path(spans: &HashMap<String, SpanStats>) -> BTreeMap<String, Duration> {
+    let ordered: BTreeMap<&str, &SpanStats> = spans.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    ordered
+        .iter()
+        .map(|(path, stats)| {
+            let children_total: Duration = ordered
+                .iter()
+                .filter(|(p, _)| {
+                    p.strip_prefix(*path)
+                        .and_then(|rest| rest.strip_prefix('/'))
+                        .is_some_and(|rest| !rest.contains('/'))
+                })
+                .map(|(_, s)| s.total)
+                .sum();
+            (path.to_string(), stats.total.saturating_sub(children_total))
+        })
+        .collect()
+}
 
 /// Renders the global registry as an indented span-tree profile with
 /// cumulative vs. self time and p50/p99 latencies, followed by counters and
@@ -37,20 +59,11 @@ pub fn report() -> String {
             .iter()
             .map(|(k, v)| (k.as_str(), v))
             .collect();
+        let self_times = self_time_by_path(&snapshot.spans);
         for (path, stats) in &ordered {
             let depth = path.matches('/').count();
             let name = path.rsplit('/').next().unwrap_or(path);
-            // Self time = cumulative minus direct children's cumulative.
-            let children_total: Duration = ordered
-                .iter()
-                .filter(|(p, _)| {
-                    p.strip_prefix(*path)
-                        .and_then(|rest| rest.strip_prefix('/'))
-                        .is_some_and(|rest| !rest.contains('/'))
-                })
-                .map(|(_, s)| s.total)
-                .sum();
-            let self_time = stats.total.saturating_sub(children_total);
+            let self_time = self_times.get(*path).copied().unwrap_or_default();
             out.push_str(&format!(
                 "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9}\n",
                 format!("{}{}", "  ".repeat(depth), name),
@@ -64,10 +77,22 @@ pub fn report() -> String {
     }
 
     if !snapshot.counters.is_empty() {
-        out.push_str("counters\n");
+        // Derived rates are averaged over the whole process lifetime — a
+        // coarse but honest throughput figure (gate-applies/sec,
+        // train-steps/sec, …) for end-of-run profiles.
+        let elapsed_s = (crate::now_us() as f64 / 1e6).max(1e-9);
+        out.push_str(&format!(
+            "{:<44} {:>20} {:>12}\n",
+            "counters", "total", "avg/s"
+        ));
         let ordered: BTreeMap<_, _> = snapshot.counters.iter().collect();
         for (name, value) in ordered {
-            out.push_str(&format!("  {name:<42} {value:>20}\n"));
+            out.push_str(&format!(
+                "  {:<42} {:>20} {:>12}\n",
+                name,
+                value,
+                fmt_rate(*value as f64 / elapsed_s)
+            ));
         }
     }
 
@@ -81,6 +106,19 @@ pub fn report() -> String {
 
     out.push_str("────────────────────────────────────────────────────────────────────────────\n");
     out
+}
+
+/// Formats an events-per-second rate with a metric suffix.
+pub(crate) fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -99,6 +137,14 @@ fn fmt_duration(d: Duration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(3.0), "3.0");
+        assert_eq!(fmt_rate(1_500.0), "1.50k");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M");
+        assert_eq!(fmt_rate(3_000_000_000.0), "3.00G");
+    }
 
     #[test]
     fn duration_formatting() {

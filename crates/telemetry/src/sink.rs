@@ -42,7 +42,9 @@ pub struct JsonlSink {
 
 impl JsonlSink {
     pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
-        Ok(JsonlSink { writer: BufWriter::new(File::create(path)?) })
+        Ok(JsonlSink {
+            writer: BufWriter::new(File::create(path)?),
+        })
     }
 }
 

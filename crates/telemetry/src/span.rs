@@ -26,7 +26,11 @@ impl SpanGuard {
             stack.push(name);
             stack.join("/")
         });
-        SpanGuard { path, start: Instant::now() }
+        crate::trace::record(true, name);
+        SpanGuard {
+            path,
+            start: Instant::now(),
+        }
     }
 
     /// The full `/`-joined path of this span.
@@ -38,9 +42,8 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
-        STACK.with(|stack| {
-            stack.borrow_mut().pop();
-        });
+        let name = STACK.with(|stack| stack.borrow_mut().pop());
+        crate::trace::record(false, name.unwrap_or_default());
         let first = registry::global().record_span(&self.path, elapsed);
         // Every occurrence is visible at debug level; below that, the first
         // completion per path still emits one event so recording sinks

@@ -1,0 +1,169 @@
+//! Trace export: Chrome trace-event JSON and collapsed-stack (flamegraph)
+//! renderings of the span registry.
+//!
+//! Recording is off by default (a single relaxed atomic load on the span hot
+//! path). Once [`enable`]d, every span records a begin event on entry and an
+//! end event on drop into a bounded global buffer; [`chrome_trace_json`]
+//! renders the buffer as a `chrome://tracing` / Perfetto-loadable document
+//! and [`collapsed_stacks`] folds the aggregate registry into
+//! `inferno`/`flamegraph.pl`-compatible lines.
+
+use crate::registry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Cap on buffered trace records; beyond it new records are counted but
+/// dropped (the rendering stays valid — unmatched records are reconciled).
+const TRACE_CAP: usize = 1 << 20;
+
+#[derive(Clone, Debug)]
+struct TraceRecord {
+    begin: bool,
+    name: String,
+    ts_us: u64,
+    tid: u64,
+}
+
+#[derive(Default)]
+struct TraceBuf {
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn buffer() -> &'static Mutex<TraceBuf> {
+    static BUF: OnceLock<Mutex<TraceBuf>> = OnceLock::new();
+    BUF.get_or_init(|| Mutex::new(TraceBuf::default()))
+}
+
+/// Starts recording span begin/end events.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stops recording (the buffer is kept until [`clear`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether trace recording is active.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Discards all buffered trace records.
+pub fn clear() {
+    let mut buf = buffer().lock().unwrap();
+    buf.records.clear();
+    buf.dropped = 0;
+}
+
+/// Records one begin/end edge (called from the span guard).
+pub(crate) fn record(begin: bool, name: &str) {
+    if !is_enabled() {
+        return;
+    }
+    let record = TraceRecord {
+        begin,
+        name: name.to_string(),
+        ts_us: crate::now_us(),
+        tid: TID.with(|t| *t),
+    };
+    let mut buf = buffer().lock().unwrap();
+    if buf.records.len() >= TRACE_CAP {
+        buf.dropped += 1;
+        return;
+    }
+    buf.records.push(record);
+}
+
+/// Per-thread balanced begin/end pairs: end records with no open begin are
+/// dropped, begins still open at render time get a synthetic end at the
+/// final timestamp — so consumers always see matching pairs.
+fn balanced_records() -> Vec<TraceRecord> {
+    let buf = buffer().lock().unwrap();
+    let mut out = Vec::with_capacity(buf.records.len());
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut last_ts = 0u64;
+    for r in &buf.records {
+        last_ts = last_ts.max(r.ts_us);
+        let stack = stacks.entry(r.tid).or_default();
+        if r.begin {
+            stack.push(r.name.clone());
+            out.push(r.clone());
+        } else if stack.last() == Some(&r.name) {
+            stack.pop();
+            out.push(r.clone());
+        }
+        // End with no matching begin (recording enabled mid-span): dropped.
+    }
+    for (tid, stack) in stacks {
+        for name in stack.into_iter().rev() {
+            out.push(TraceRecord {
+                begin: false,
+                name,
+                ts_us: last_ts,
+                tid,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the buffered spans as a Chrome trace-event document
+/// (`{"traceEvents": [...]}`) loadable in `chrome://tracing` and Perfetto.
+/// Begin/end events are guaranteed to pair up per thread.
+pub fn chrome_trace_json() -> String {
+    use serde::Content;
+    let events: Vec<Content> = balanced_records()
+        .into_iter()
+        .map(|r| {
+            Content::Map(vec![
+                ("name".to_string(), Content::Str(r.name)),
+                ("cat".to_string(), Content::Str("span".to_string())),
+                (
+                    "ph".to_string(),
+                    Content::Str(if r.begin { "B" } else { "E" }.to_string()),
+                ),
+                ("ts".to_string(), Content::U64(r.ts_us)),
+                ("pid".to_string(), Content::U64(1)),
+                ("tid".to_string(), Content::U64(r.tid)),
+            ])
+        })
+        .collect();
+    let doc = Content::Map(vec![
+        ("traceEvents".to_string(), Content::Seq(events)),
+        (
+            "displayTimeUnit".to_string(),
+            Content::Str("ms".to_string()),
+        ),
+    ]);
+    serde_json::to_string(&doc).expect("trace document serializes")
+}
+
+/// Renders the span registry as collapsed stacks — one `a;b;c <µs>` line per
+/// span path, value = *self* time in microseconds — the input format of
+/// `flamegraph.pl` and `inferno-flamegraph`.
+pub fn collapsed_stacks() -> String {
+    let snapshot = registry::global().snapshot();
+    let mut out = String::new();
+    for (path, self_time) in crate::report::self_time_by_path(&snapshot.spans) {
+        out.push_str(&path.replace('/', ";"));
+        out.push(' ');
+        out.push_str(&(self_time.as_micros() as u64).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Number of records discarded because the buffer was full.
+pub fn dropped() -> u64 {
+    buffer().lock().unwrap().dropped
+}

@@ -89,10 +89,8 @@ fn percentiles_stay_sane_past_reservoir_capacity() {
 #[test]
 fn jsonl_sink_round_trips_through_serde_json() {
     with_clean_state(|| {
-        let path = std::env::temp_dir().join(format!(
-            "hqnn-telemetry-test-{}.jsonl",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("hqnn-telemetry-test-{}.jsonl", std::process::id()));
         telemetry::add_jsonl_sink(&path).unwrap();
 
         telemetry::event(
@@ -196,6 +194,89 @@ fn spans_emit_first_occurrence_events_below_debug() {
             let _s = telemetry::span("qsim.adjoint");
         }
         assert_eq!(mem.events_named("span").len(), 3);
+    });
+}
+
+#[test]
+fn chrome_trace_pairs_begin_and_end_events() {
+    with_clean_state(|| {
+        telemetry::trace::enable();
+        {
+            let _outer = telemetry::span("bench");
+            for _ in 0..3 {
+                let _inner = telemetry::span("iter");
+            }
+        }
+        // A span still open at render time gets a synthetic closing event.
+        let _open = telemetry::span("unclosed");
+
+        let json = telemetry::trace::chrome_trace_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let top = doc.as_map("trace doc").unwrap();
+        let events = match top.iter().find(|(k, _)| k == "traceEvents") {
+            Some((_, serde_json::Value::Seq(events))) => events,
+            other => panic!("missing traceEvents array: {other:?}"),
+        };
+        // bench + 3×iter + unclosed = 5 pairs.
+        assert_eq!(events.len(), 10);
+
+        // Begin/end counts must match per (tid, name), and per-thread
+        // nesting must be well formed (no stack underflow, empty at end).
+        let mut stacks: std::collections::HashMap<u64, Vec<String>> =
+            std::collections::HashMap::new();
+        let mut last_ts = 0u64;
+        for ev in events {
+            let fields = ev.as_map("event").unwrap();
+            let get_str = |key: &str| match fields.iter().find(|(k, _)| k == key) {
+                Some((_, serde_json::Value::Str(s))) => s.clone(),
+                other => panic!("missing string {key}: {other:?}"),
+            };
+            let get_u64 = |key: &str| match fields.iter().find(|(k, _)| k == key) {
+                Some((_, serde_json::Value::U64(v))) => *v,
+                other => panic!("missing integer {key}: {other:?}"),
+            };
+            let name = get_str("name");
+            let ph = get_str("ph");
+            let ts = get_u64("ts");
+            let tid = get_u64("tid");
+            assert_eq!(get_u64("pid"), 1);
+            assert!(ts >= last_ts, "events are time-ordered");
+            last_ts = ts;
+            let stack = stacks.entry(tid).or_default();
+            match ph.as_str() {
+                "B" => stack.push(name),
+                "E" => assert_eq!(stack.pop().as_ref(), Some(&name), "E matches open B"),
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        for (tid, stack) in stacks {
+            assert!(stack.is_empty(), "tid {tid} left open spans {stack:?}");
+        }
+        assert_eq!(telemetry::trace::dropped(), 0);
+        drop(_open);
+    });
+}
+
+#[test]
+fn trace_recording_is_inert_until_enabled() {
+    with_clean_state(|| {
+        {
+            let _s = telemetry::span("ignored");
+        }
+        let json = telemetry::trace::chrome_trace_json();
+        assert!(json.contains("\"traceEvents\":[]"), "{json}");
+    });
+}
+
+#[test]
+fn collapsed_stacks_fold_paths_with_self_time() {
+    with_clean_state(|| {
+        telemetry::record_duration("repro", Duration::from_micros(500));
+        telemetry::record_duration("repro/train", Duration::from_micros(300));
+        let folded = telemetry::trace::collapsed_stacks();
+        // Parent line carries self time = 500 - 300 µs.
+        assert!(folded.contains("repro 200\n"), "{folded}");
+        assert!(folded.contains("repro;train 300\n"), "{folded}");
     });
 }
 
