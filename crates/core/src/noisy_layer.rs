@@ -13,8 +13,9 @@
 //! (the `noisy_training` example), not the full grid search.
 
 use hqnn_nn::Layer;
-use hqnn_qsim::gradient::parameter_shift_noisy;
-use hqnn_qsim::{Circuit, DensityMatrix, NoiseModel, Observable, QnnTemplate};
+use hqnn_qsim::{
+    gradients_batch, Circuit, DensityMatrix, GradEngine, NoiseModel, Observable, QnnTemplate,
+};
 use hqnn_tensor::{Matrix, SeededRng};
 
 use crate::quantum_layer::accumulate_chain;
@@ -114,17 +115,22 @@ impl Layer for NoisyQuantumLayer {
             input.cols()
         );
         self.cached_input = Some(input.clone());
-        let mut out = Matrix::zeros(input.rows(), n);
-        for r in 0..input.rows() {
+        // Density-matrix simulations are the most expensive per-sample work
+        // in the workspace (O(4ⁿ) each), so rows fan out across the runtime.
+        let rows = hqnn_runtime::par_map_range(input.rows(), |r| {
             let rho = DensityMatrix::run_noisy(
                 &self.circuit,
                 input.row(r),
                 self.params.as_slice(),
                 &self.noise,
             );
-            for (wire, cell) in out.row_mut(r).iter_mut().enumerate() {
-                *cell = rho.expectation_z(wire);
-            }
+            (0..n)
+                .map(|wire| rho.expectation_z(wire))
+                .collect::<Vec<f64>>()
+        });
+        let mut out = Matrix::zeros(input.rows(), n);
+        for (r, row) in rows.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(row);
         }
         out
     }
@@ -142,15 +148,22 @@ impl Layer for NoisyQuantumLayer {
         );
         let mut grad_params = Matrix::zeros(1, self.template.param_count());
         let mut grad_input = Matrix::zeros(input.rows(), n);
-        for r in 0..input.rows() {
-            let grads = parameter_shift_noisy(
-                &self.circuit,
-                input.row(r),
-                self.params.as_slice(),
-                &self.observables,
-                &self.noise,
+        // Parallel per-sample gradients, sequential row-order reduction into
+        // the shared accumulator (keeps f64 grouping identical to the loop).
+        let batch = gradients_batch(
+            &self.circuit,
+            GradEngine::ParameterShiftNoisy(&self.noise),
+            input,
+            self.params.as_slice(),
+            &self.observables,
+        );
+        for (r, grads) in batch.iter().enumerate() {
+            accumulate_chain(
+                grads,
+                grad_output.row(r),
+                &mut grad_params,
+                grad_input.row_mut(r),
             );
-            accumulate_chain(&grads, grad_output.row(r), &mut grad_params, grad_input.row_mut(r));
         }
         self.grad_params = grad_params;
         grad_input
@@ -190,13 +203,18 @@ mod tests {
     #[test]
     fn noiseless_layer_matches_ideal_layer() {
         let mut rng = SeededRng::new(3);
-        let params = Matrix::uniform(1, template().param_count(), 0.0, std::f64::consts::TAU, &mut rng);
+        let params = Matrix::uniform(
+            1,
+            template().param_count(),
+            0.0,
+            std::f64::consts::TAU,
+            &mut rng,
+        );
         let x = Matrix::uniform(4, 2, -1.0, 1.0, &mut rng);
         let g = Matrix::uniform(4, 2, -1.0, 1.0, &mut rng);
 
         let mut ideal = QuantumLayer::from_parts(template(), params.clone());
-        let mut noisy =
-            NoisyQuantumLayer::from_parts(template(), NoiseModel::noiseless(), params);
+        let mut noisy = NoisyQuantumLayer::from_parts(template(), NoiseModel::noiseless(), params);
 
         let out_i = ideal.forward(&x, true);
         let out_n = noisy.forward(&x, true);
@@ -216,7 +234,13 @@ mod tests {
     #[test]
     fn noise_damps_outputs() {
         let mut rng = SeededRng::new(4);
-        let params = Matrix::uniform(1, template().param_count(), 0.0, std::f64::consts::TAU, &mut rng);
+        let params = Matrix::uniform(
+            1,
+            template().param_count(),
+            0.0,
+            std::f64::consts::TAU,
+            &mut rng,
+        );
         let x = Matrix::uniform(3, 2, -1.0, 1.0, &mut rng);
         let mut clean =
             NoisyQuantumLayer::from_parts(template(), NoiseModel::noiseless(), params.clone());
@@ -257,7 +281,10 @@ mod tests {
             model.apply_gradients(&mut opt);
             final_loss = loss;
         }
-        assert!(final_loss < 0.3, "noisy hybrid failed to learn: {final_loss}");
+        assert!(
+            final_loss < 0.3,
+            "noisy hybrid failed to learn: {final_loss}"
+        );
     }
 
     #[test]

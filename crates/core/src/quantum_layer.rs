@@ -1,7 +1,7 @@
 //! The simulated quantum layer — a [`hqnn_nn::Layer`] backed by `hqnn-qsim`.
 
 use hqnn_nn::Layer;
-use hqnn_qsim::{adjoint, parameter_shift, Circuit, Observable, QnnTemplate};
+use hqnn_qsim::{gradients_batch, Circuit, GradEngine, Observable, QnnTemplate};
 use hqnn_tensor::{Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
 
@@ -120,20 +120,10 @@ impl QuantumLayer {
         self.method
     }
 
-    fn gradients_for(&self, inputs: &[f64]) -> hqnn_qsim::Gradients {
+    fn engine(&self) -> GradEngine<'static> {
         match self.method {
-            GradientMethod::Adjoint => adjoint(
-                &self.circuit,
-                inputs,
-                self.params.as_slice(),
-                &self.observables,
-            ),
-            GradientMethod::ParameterShift => parameter_shift(
-                &self.circuit,
-                inputs,
-                self.params.as_slice(),
-                &self.observables,
-            ),
+            GradientMethod::Adjoint => GradEngine::Adjoint,
+            GradientMethod::ParameterShift => GradEngine::ParameterShift,
         }
     }
 }
@@ -149,14 +139,8 @@ impl Layer for QuantumLayer {
         );
         self.cached_input = Some(input.clone());
         let _span = hqnn_telemetry::span("core.qlayer_forward");
-        let mut out = Matrix::zeros(input.rows(), n);
-        for r in 0..input.rows() {
-            let exps =
-                self.circuit
-                    .expectations(input.row(r), self.params.as_slice(), &self.observables);
-            out.row_mut(r).copy_from_slice(&exps);
-        }
-        out
+        self.circuit
+            .expectations_batch(input, self.params.as_slice(), &self.observables)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -175,10 +159,19 @@ impl Layer for QuantumLayer {
         let mut grad_params = Matrix::zeros(1, n_params);
         let mut grad_input = Matrix::zeros(input.rows(), n);
 
-        for r in 0..input.rows() {
-            let grads = self.gradients_for(input.row(r));
+        // Per-sample gradients fan out in parallel; the chain-rule reduction
+        // below stays sequential in row order so the shared `grad_params`
+        // accumulator sums in exactly the order the per-row loop did.
+        let batch = gradients_batch(
+            &self.circuit,
+            self.engine(),
+            input,
+            self.params.as_slice(),
+            &self.observables,
+        );
+        for (r, grads) in batch.iter().enumerate() {
             accumulate_chain(
-                &grads,
+                grads,
                 grad_output.row(r),
                 &mut grad_params,
                 grad_input.row_mut(r),

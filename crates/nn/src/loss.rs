@@ -14,18 +14,31 @@ use hqnn_tensor::Matrix;
 /// assert!((p[(0, 0)] - 0.5).abs() < 1e-12);
 /// ```
 pub fn softmax(logits: &Matrix) -> Matrix {
-    let mut out = Matrix::zeros(logits.rows(), logits.cols());
-    for r in 0..logits.rows() {
+    let row_of = |r: usize| -> Vec<f64> {
         let row = logits.row(r);
         let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = row.iter().map(|v| (v - max).exp()).collect();
         let denom: f64 = exps.iter().sum();
-        for (c, e) in exps.iter().enumerate() {
-            out[(r, c)] = e / denom;
-        }
+        exps.iter().map(|e| e / denom).collect()
+    };
+    // Rows are independent; big batches fan out across the runtime (the
+    // small-batch cutoff only avoids thread-spawn overhead — per-row math is
+    // identical on both paths, so results never depend on it).
+    let rows: Vec<Vec<f64>> = if logits.len() >= PAR_ROWS_MIN_ELEMS {
+        hqnn_runtime::par_map_range(logits.rows(), row_of)
+    } else {
+        (0..logits.rows()).map(row_of).collect()
+    };
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for (r, row) in rows.iter().enumerate() {
+        out.row_mut(r).copy_from_slice(row);
     }
     out
 }
+
+/// Minimum element count before the row-parallel paths in this module spawn
+/// threads; below it the sequential loop wins on spawn overhead alone.
+const PAR_ROWS_MIN_ELEMS: usize = 4096;
 
 /// One-hot encodes integer class labels into a `(batch, n_classes)` matrix.
 ///
@@ -52,12 +65,25 @@ pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
     if labels.is_empty() {
         return 0.0;
     }
-    let preds = logits.argmax_rows();
-    let correct = preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| p == l)
-        .count();
+    // Same argmax rule as `Matrix::argmax_rows`, fanned out per row; the
+    // cross-row reduction is an integer sum, so it is order-independent.
+    let hit = |r: usize| -> u64 {
+        let pred = logits
+            .row(r)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        u64::from(pred == labels[r])
+    };
+    let correct: u64 = if logits.len() >= PAR_ROWS_MIN_ELEMS {
+        hqnn_runtime::par_map_range(labels.len(), hit)
+            .into_iter()
+            .sum()
+    } else {
+        (0..labels.len()).map(hit).sum()
+    };
     correct as f64 / labels.len() as f64
 }
 
@@ -84,14 +110,24 @@ impl SoftmaxCrossEntropy {
         assert!(logits.rows() > 0, "empty batch");
         let probs = softmax(logits);
         let batch = logits.rows() as f64;
-        let mut loss = 0.0;
-        for r in 0..logits.rows() {
+        // Per-row loss partials fan out; the cross-row reduction left-folds
+        // in row order, so the f64 grouping — and hence every reported loss
+        // bit — is fixed at any thread count.
+        let row_loss = |r: usize| -> f64 {
+            let mut part = 0.0;
             for c in 0..logits.cols() {
                 if targets[(r, c)] != 0.0 {
-                    loss -= targets[(r, c)] * probs[(r, c)].max(1e-300).ln();
+                    part += targets[(r, c)] * probs[(r, c)].max(1e-300).ln();
                 }
             }
-        }
+            part
+        };
+        let partials: Vec<f64> = if logits.len() >= PAR_ROWS_MIN_ELEMS {
+            hqnn_runtime::par_map_range(logits.rows(), row_loss)
+        } else {
+            (0..logits.rows()).map(row_loss).collect()
+        };
+        let loss = -partials.iter().fold(0.0, |acc, p| acc + p);
         let grad = (&probs - targets).scale(1.0 / batch);
         (loss / batch, grad)
     }
@@ -184,6 +220,37 @@ mod tests {
                 let (ld, _) = loss_fn.loss_and_grad(&dn, &targets);
                 let fd = (lu - ld) / (2.0 * eps);
                 assert!((grad[(r, c)] - fd).abs() < 1e-7, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_softmax_accuracy_bitwise_invariant_across_threads() {
+        // Batch large enough to clear PAR_ROWS_MIN_ELEMS so the parallel
+        // paths actually run.
+        let mut rng = hqnn_tensor::SeededRng::new(9);
+        let rows = PAR_ROWS_MIN_ELEMS / 4;
+        let logits = Matrix::uniform(rows, 8, -4.0, 4.0, &mut rng);
+        let labels: Vec<usize> = (0..rows).map(|r| r % 8).collect();
+        let targets = one_hot(&labels, 8);
+        let loss_fn = SoftmaxCrossEntropy::new();
+
+        let (loss1, grad1, p1, acc1) = hqnn_runtime::with_threads(1, || {
+            let (l, g) = loss_fn.loss_and_grad(&logits, &targets);
+            (l, g, softmax(&logits), accuracy(&logits, &labels))
+        });
+        for threads in [2, 7] {
+            let (l, g, p, acc) = hqnn_runtime::with_threads(threads, || {
+                let (l, g) = loss_fn.loss_and_grad(&logits, &targets);
+                (l, g, softmax(&logits), accuracy(&logits, &labels))
+            });
+            assert_eq!(l.to_bits(), loss1.to_bits(), "loss, threads={threads}");
+            assert_eq!(acc.to_bits(), acc1.to_bits(), "accuracy, threads={threads}");
+            for (a, b) in g.as_slice().iter().zip(grad1.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "grad, threads={threads}");
+            }
+            for (a, b) in p.as_slice().iter().zip(p1.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "softmax, threads={threads}");
             }
         }
     }

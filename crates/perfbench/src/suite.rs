@@ -14,7 +14,7 @@ use hqnn_nn::{one_hot, Adam, SoftmaxCrossEntropy};
 use hqnn_qsim::{
     adjoint, parameter_shift, EntanglerKind, GateKind, Observable, QnnTemplate, StateVector,
 };
-use hqnn_search::protocol::{evaluate_combo, prepare_level_data};
+use hqnn_search::protocol::{evaluate_combo, evaluate_combo_wave, prepare_level_data};
 use hqnn_search::SearchConfig;
 use hqnn_telemetry as telemetry;
 use hqnn_tensor::{Matrix, SeededRng};
@@ -190,6 +190,36 @@ pub fn default_suite() -> Vec<Benchmark> {
         });
     }
 
+    // -- qsim.run_batch: batched forward pass through the runtime ---------
+    // The batch seam the thread-scaling gate watches: one iteration evolves
+    // a whole batch of rows through the same circuit via `run_batch`, which
+    // fans rows out across `HQNN_THREADS`. Compare against a threads=1 run
+    // of the same bench to measure scaling.
+    {
+        const BATCH: usize = 16;
+        let template = QnnTemplate::new(6, 4, EntanglerKind::Strong);
+        let circuit = template.build();
+        let mut rng = SeededRng::new(31);
+        let inputs = Matrix::uniform(BATCH, circuit.input_count(), -1.0, 1.0, &mut rng);
+        let params: Vec<f64> = (0..circuit.trainable_count())
+            .map(|i| (i as f64 * 0.53).sin())
+            .collect();
+        let flops = BATCH as u64
+            * cost
+                .circuit_forward(&circuit.op_census(), circuit.n_qubits())
+                .total();
+        suite.push(Benchmark {
+            id: "qsim.run_batch",
+            throughput_unit: "circuit-runs",
+            ops_per_iter: BATCH as u64,
+            analytic_flops_per_iter: Some(flops),
+            heavy: false,
+            run: Box::new(move || {
+                black_box(circuit.run_batch(black_box(&inputs), black_box(&params)));
+            }),
+        });
+    }
+
     // -- qsim.adjoint_grad: the gradient engine hybrid training uses ------
     {
         let template = QnnTemplate::new(4, 3, EntanglerKind::Strong);
@@ -333,6 +363,43 @@ pub fn default_suite() -> Vec<Benchmark> {
         });
     }
 
+    // -- search.combo_parallel: one speculative wave of combo trainings ---
+    // The exact unit `search_level` speculates on: a wave of candidate
+    // specs trained concurrently through `evaluate_combo_wave`. At
+    // threads=1 this degenerates to sequential `search.combo` × wave size;
+    // the ratio between the two thread settings is the search-layer scaling
+    // number the CI smoke gate asserts on.
+    {
+        let mut config = SearchConfig::smoke();
+        config.dataset_samples = 90;
+        config.train = config.train.with_epochs(4);
+        let data = prepare_level_data(&config, 4);
+        let specs: Vec<hqnn_core::ModelSpec> = [vec![4], vec![8], vec![16], vec![8, 8]]
+            .into_iter()
+            .map(|hidden| hqnn_core::ModelSpec::from(ClassicalSpec::new(4, hidden, 3)))
+            .collect();
+        let salts: Vec<u64> = (0..specs.len() as u64).map(|i| 17 + i).collect();
+        let cost_model = cost;
+        let wave = specs.len() as u64;
+        suite.push(Benchmark {
+            id: "search.combo_parallel",
+            throughput_unit: "combos",
+            ops_per_iter: wave,
+            analytic_flops_per_iter: None,
+            heavy: true,
+            run: Box::new(move || {
+                let refs: Vec<&hqnn_core::ModelSpec> = specs.iter().collect();
+                black_box(evaluate_combo_wave(
+                    black_box(&refs),
+                    &data,
+                    &config,
+                    &cost_model,
+                    &salts,
+                ));
+            }),
+        });
+    }
+
     suite
 }
 
@@ -370,7 +437,7 @@ mod tests {
         deduped.dedup();
         assert_eq!(deduped.len(), ids.len(), "duplicate bench ids");
         assert!(ids.contains(&REFERENCE_BENCH));
-        assert!(suite.len() >= 8);
+        assert!(suite.len() >= 10);
     }
 
     #[test]

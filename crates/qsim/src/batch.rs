@@ -1,0 +1,227 @@
+//! Batched circuit execution and differentiation over sample matrices.
+//!
+//! The hybrid layers upstream (hqnn-core) process inputs a *batch* at a time
+//! — one circuit evaluation per matrix row, all rows independent. These
+//! entry points are the simulator's parallel seam: rows fan out across
+//! [`hqnn_runtime::par_map_range`] and come back in row order, so every
+//! result is bitwise identical to the per-row sequential loop regardless of
+//! `HQNN_THREADS`.
+
+use hqnn_tensor::Matrix;
+
+use crate::circuit::Circuit;
+use crate::gradient::{self, Gradients};
+use crate::noise::NoiseModel;
+use crate::observable::Observable;
+use crate::state::StateVector;
+
+/// Which differentiation engine [`gradients_batch`] drives per row.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum GradEngine<'a> {
+    /// Reverse-pass adjoint differentiation ([`gradient::adjoint`]).
+    Adjoint,
+    /// Two-term parameter-shift rule ([`gradient::parameter_shift`]).
+    ParameterShift,
+    /// Parameter-shift through a density-matrix simulation under the given
+    /// noise model ([`gradient::parameter_shift_noisy`]).
+    ParameterShiftNoisy(&'a NoiseModel),
+}
+
+impl Circuit {
+    /// Runs the circuit once per row of `inputs` and returns the final
+    /// states in row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.cols() < input_count()` (each row must bind every
+    /// encoding slot) or `params.len() < trainable_count()`.
+    pub fn run_batch(&self, inputs: &Matrix, params: &[f64]) -> Vec<StateVector> {
+        self.check_batch(inputs, params);
+        let _span = hqnn_telemetry::span("qsim.run_batch");
+        hqnn_runtime::par_map_range(inputs.rows(), |r| self.run(inputs.row(r), params))
+    }
+
+    /// Runs the circuit once per row of `inputs` and evaluates every
+    /// observable, returning a `(inputs.rows(), observables.len())` matrix.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Circuit::run_batch`]; additionally if an observable
+    /// references a wire outside the circuit.
+    pub fn expectations_batch(
+        &self,
+        inputs: &Matrix,
+        params: &[f64],
+        observables: &[Observable],
+    ) -> Matrix {
+        self.check_batch(inputs, params);
+        let _span = hqnn_telemetry::span("qsim.expectations_batch");
+        let rows = hqnn_runtime::par_map_range(inputs.rows(), |r| {
+            self.expectations(inputs.row(r), params, observables)
+        });
+        let data: Vec<f64> = rows.into_iter().flatten().collect();
+        Matrix::from_vec(inputs.rows(), observables.len(), data)
+    }
+
+    fn check_batch(&self, inputs: &Matrix, params: &[f64]) {
+        assert!(
+            inputs.cols() >= self.input_count(),
+            "batch rows bind {} inputs, circuit expects {}",
+            inputs.cols(),
+            self.input_count()
+        );
+        assert!(
+            params.len() >= self.trainable_count(),
+            "circuit expects {} trainable params, got {}",
+            self.trainable_count(),
+            params.len()
+        );
+    }
+}
+
+/// Computes [`Gradients`] for every row of `inputs` with the chosen engine,
+/// returned in row order (bitwise identical to calling the engine per row).
+///
+/// # Panics
+///
+/// As for the underlying engine — see [`gradient::adjoint`],
+/// [`gradient::parameter_shift`], [`gradient::parameter_shift_noisy`].
+pub fn gradients_batch(
+    circuit: &Circuit,
+    engine: GradEngine,
+    inputs: &Matrix,
+    params: &[f64],
+    observables: &[Observable],
+) -> Vec<Gradients> {
+    let _span = hqnn_telemetry::span("qsim.gradients_batch");
+    hqnn_runtime::par_map_range(inputs.rows(), |r| {
+        let row = inputs.row(r);
+        match engine {
+            GradEngine::Adjoint => gradient::adjoint(circuit, row, params, observables),
+            GradEngine::ParameterShift => {
+                gradient::parameter_shift(circuit, row, params, observables)
+            }
+            GradEngine::ParameterShiftNoisy(noise) => {
+                gradient::parameter_shift_noisy(circuit, row, params, observables, noise)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::ParamSource;
+
+    fn encoder_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.rx(0, ParamSource::Input(0));
+        c.ry(1, ParamSource::Input(1));
+        c.cnot(0, 1);
+        c.ry(0, ParamSource::Trainable(0));
+        c.rz(1, ParamSource::Trainable(1));
+        c
+    }
+
+    fn sample_batch() -> Matrix {
+        Matrix::from_vec(
+            5,
+            2,
+            vec![0.1, -0.4, 0.9, 0.3, -1.2, 0.7, 0.0, 0.0, 2.1, -0.6],
+        )
+    }
+
+    fn z_all(n: usize) -> Vec<Observable> {
+        (0..n).map(Observable::z).collect()
+    }
+
+    #[test]
+    fn run_batch_matches_per_row_runs() {
+        let c = encoder_circuit();
+        let x = sample_batch();
+        let params = [0.5, -0.3];
+        for threads in [1, 2, 7] {
+            let batch = hqnn_runtime::with_threads(threads, || c.run_batch(&x, &params));
+            assert_eq!(batch.len(), x.rows());
+            for (r, state) in batch.iter().enumerate() {
+                let solo = c.run(x.row(r), &params);
+                // Bitwise: same code path per row, only scheduling differs.
+                for (a, b) in state.amplitudes().iter().zip(solo.amplitudes()) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "threads={threads} row={r}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "threads={threads} row={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expectations_batch_shape_and_bitwise_rows() {
+        let c = encoder_circuit();
+        let x = sample_batch();
+        let params = [0.5, -0.3];
+        let obs = z_all(2);
+        let seq = hqnn_runtime::with_threads(1, || c.expectations_batch(&x, &params, &obs));
+        assert_eq!(seq.shape(), (5, 2));
+        for threads in [2, 7] {
+            let par =
+                hqnn_runtime::with_threads(threads, || c.expectations_batch(&x, &params, &obs));
+            assert_eq!(par.shape(), seq.shape());
+            for (a, b) in par.as_slice().iter().zip(seq.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+        for r in 0..x.rows() {
+            let solo = c.expectations(x.row(r), &params, &obs);
+            assert_eq!(seq.row(r), &solo[..]);
+        }
+    }
+
+    #[test]
+    fn gradients_batch_matches_each_engine_per_row() {
+        let c = encoder_circuit();
+        let x = sample_batch();
+        let params = [0.5, -0.3];
+        let obs = z_all(2);
+        let noise = NoiseModel::depolarizing(0.05);
+        let engines = [
+            GradEngine::Adjoint,
+            GradEngine::ParameterShift,
+            GradEngine::ParameterShiftNoisy(&noise),
+        ];
+        for engine in engines {
+            let batch =
+                hqnn_runtime::with_threads(3, || gradients_batch(&c, engine, &x, &params, &obs));
+            assert_eq!(batch.len(), x.rows());
+            for (r, got) in batch.iter().enumerate() {
+                let want = match engine {
+                    GradEngine::Adjoint => gradient::adjoint(&c, x.row(r), &params, &obs),
+                    GradEngine::ParameterShift => {
+                        gradient::parameter_shift(&c, x.row(r), &params, &obs)
+                    }
+                    GradEngine::ParameterShiftNoisy(n) => {
+                        gradient::parameter_shift_noisy(&c, x.row(r), &params, &obs, n)
+                    }
+                };
+                assert_eq!(got, &want, "engine={engine:?} row={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let c = encoder_circuit();
+        let x = Matrix::zeros(0, 2);
+        assert!(c.run_batch(&x, &[0.0, 0.0]).is_empty());
+        let e = c.expectations_batch(&x, &[0.0, 0.0], &z_all(2));
+        assert_eq!(e.shape(), (0, 2));
+        assert!(gradients_batch(&c, GradEngine::Adjoint, &x, &[0.0, 0.0], &z_all(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "circuit expects 2")]
+    fn run_batch_validates_input_width() {
+        let c = encoder_circuit();
+        let x = Matrix::zeros(3, 1);
+        let _ = c.run_batch(&x, &[0.0, 0.0]);
+    }
+}

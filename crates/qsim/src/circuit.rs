@@ -351,9 +351,11 @@ impl Circuit {
         );
         hqnn_telemetry::counter("qsim.circuit_runs", 1);
         hqnn_telemetry::counter("qsim.gate_applies", self.ops.len() as u64);
-        // A gauge, not a counter: the amplitude count of the most recent run,
-        // i.e. the working-set size the simulator is currently paying for.
-        hqnn_telemetry::gauge("qsim.statevector_len", (1u64 << self.n_qubits) as f64);
+        // High-water-mark gauge: the largest statevector simulated since the
+        // last reset. Batched execution runs circuits on several threads at
+        // once, so last-writer-wins would report whichever run finished last;
+        // the max is schedule-independent.
+        hqnn_telemetry::gauge_max("qsim.statevector_len", (1u64 << self.n_qubits) as f64);
         let mut state = StateVector::new(self.n_qubits);
         for op in &self.ops {
             Self::apply_op(op, &mut state, inputs, params);

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod ansatz;
+pub mod batch;
 pub mod circuit;
 pub mod complex;
 pub mod density;
@@ -47,6 +48,7 @@ pub mod render;
 pub mod state;
 
 pub use ansatz::{EntanglerKind, QnnTemplate, RotationAxis};
+pub use batch::{gradients_batch, GradEngine};
 pub use circuit::{Circuit, Op, ParamSource, Wires};
 pub use complex::C64;
 pub use density::DensityMatrix;

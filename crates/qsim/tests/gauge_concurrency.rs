@@ -1,0 +1,54 @@
+//! Regression test for the `qsim.statevector_len` gauge under concurrency.
+//!
+//! Before the batch runtime, the gauge was last-writer-wins: with circuits of
+//! different widths running on parallel workers, the reported working-set
+//! size depended on which run finished last. The gauge is now a high-water
+//! mark, so concurrent mixed-size runs must always report the largest
+//! statevector simulated — deterministically.
+//!
+//! Lives in its own integration-test binary so the process-global telemetry
+//! registry is not shared with unrelated tests.
+
+use hqnn_qsim::Circuit;
+
+fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 1..n {
+        c.cnot(q - 1, q);
+    }
+    c
+}
+
+#[test]
+fn statevector_gauge_reports_max_across_concurrent_sizes() {
+    let small = ghz(3); // 2^3 = 8 amplitudes
+    let large = ghz(6); // 2^6 = 64 amplitudes
+
+    // Interleave many runs of both widths across two threads. Under
+    // last-writer-wins this flaps between 8 and 64 depending on scheduling;
+    // the high-water mark must land on 64 every time.
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for _ in 0..50 {
+                let _ = small.run(&[], &[]);
+            }
+        });
+        scope.spawn(|| {
+            for _ in 0..50 {
+                let _ = large.run(&[], &[]);
+                let _ = small.run(&[], &[]);
+            }
+        });
+    });
+
+    let snap = hqnn_telemetry::snapshot();
+    assert_eq!(snap.gauges["qsim.statevector_len"], 64.0);
+
+    // The mark is per report window: a reset clears it, after which a small
+    // run alone reports its own size.
+    hqnn_telemetry::reset();
+    let _ = small.run(&[], &[]);
+    let snap = hqnn_telemetry::snapshot();
+    assert_eq!(snap.gauges["qsim.statevector_len"], 8.0);
+}

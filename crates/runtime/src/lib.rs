@@ -1,0 +1,155 @@
+//! Deterministic parallel runtime for the hqnn workspace.
+//!
+//! Every expensive loop in this workspace — per-sample circuit simulation,
+//! per-sample adjoint gradients, dense-layer row blocks, independent grid
+//! combos of the architecture search — is embarrassingly parallel, and all of
+//! them must stay **bitwise reproducible**: the paper protocol's published
+//! numbers are seed-deterministic, and the test suite asserts byte-identical
+//! study JSON regardless of the machine. This crate squares those two
+//! requirements with three rules:
+//!
+//! 1. **Order-preserving map.** [`par_map`]/[`par_map_range`] return results
+//!    indexed exactly like their inputs. Work is distributed dynamically
+//!    (workers pull fixed-boundary chunks from an atomic cursor) but results
+//!    are reassembled in chunk order, so the output is the same `Vec` the
+//!    sequential loop would have produced — bit for bit, because each item's
+//!    computation is independent and f64 accumulation stays *inside* items.
+//!    Callers that reduce across items must fold the returned `Vec`
+//!    sequentially; left-folding per-item partials in index order regroups
+//!    additions identically to the sequential loop.
+//! 2. **Explicit thread budget.** The pool width resolves, in order: a
+//!    scoped [`with_threads`] override on the calling thread, the
+//!    `HQNN_THREADS` environment variable, then the machine's available
+//!    parallelism. `threads() == 1` runs inline with zero scheduling.
+//! 3. **No nested fan-out.** Worker closures run with an implicit
+//!    `with_threads(1)`, so a parallel search wave doesn't multiply into a
+//!    parallel batch inside each combo. The outermost parallel seam wins.
+//!
+//! Telemetry integrates across the fan-out: workers inherit the spawning
+//! thread's open span path ([`hqnn_telemetry::propagate_span_path`]), so
+//! spans recorded inside workers merge into the same tree one `report()`
+//! prints.
+//!
+//! # Example
+//!
+//! ```
+//! // Results are ordered like the input no matter how chunks are scheduled.
+//! let squares = hqnn_runtime::par_map_range(5, |i| (i * i) as u64);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+//!
+//! let doubled = hqnn_runtime::par_map(&[1.0, 2.0, 3.0], |_i, x| x * 2.0);
+//! assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+//!
+//! // Scoped override: everything inside the closure runs single-threaded.
+//! let n = hqnn_runtime::with_threads(1, hqnn_runtime::threads);
+//! assert_eq!(n, 1);
+//! ```
+
+mod pool;
+
+pub use pool::{par_map, par_map_range};
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`] (0 = no override).
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The thread budget parsed from `HQNN_THREADS`, read once per process.
+/// `None` when unset or invalid (invalid values warn loudly, once).
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var("HQNN_THREADS").ok()?;
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                hqnn_telemetry::event(
+                    hqnn_telemetry::Level::Error,
+                    "runtime.bad_threads",
+                    &[
+                        ("value", raw.into()),
+                        ("hint", "HQNN_THREADS must be a positive integer".into()),
+                    ],
+                );
+                None
+            }
+        }
+    })
+}
+
+/// The number of worker threads parallel maps use on this thread, resolved
+/// as: [`with_threads`] override → `HQNN_THREADS` → available parallelism.
+/// Always ≥ 1.
+pub fn threads() -> usize {
+    let overridden = OVERRIDE.with(Cell::get);
+    if overridden >= 1 {
+        return overridden;
+    }
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f` with the thread budget pinned to `n` on the calling thread
+/// (nested calls nest; the previous budget is restored afterwards, also on
+/// panic). This is how tests assert thread-count invariance without touching
+/// process-global environment, and how workers suppress nested fan-out.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "thread budget must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(n)));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_is_at_least_one() {
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let ambient = threads();
+        let inner = with_threads(7, || {
+            let mid = threads();
+            let nested = with_threads(2, threads);
+            assert_eq!(nested, 2);
+            // Restored to the enclosing override, not the ambient value.
+            assert_eq!(threads(), 7);
+            mid
+        });
+        assert_eq!(inner, 7);
+        assert_eq!(threads(), ambient);
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let ambient = threads();
+        let result = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(threads(), ambient);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_budget_rejected() {
+        with_threads(0, || ());
+    }
+}

@@ -1,0 +1,188 @@
+//! Order-preserving chunked parallel map over scoped threads.
+//!
+//! There is no persistent thread pool: each call spins up scoped workers
+//! (`std::thread::scope`), which keeps the crate dependency-free, makes
+//! panics propagate like a plain loop, and lets worker closures borrow the
+//! caller's data without `'static` bounds. Spawn cost is a few tens of
+//! microseconds per worker — negligible against the batch-level work units
+//! this workspace parallelises (circuit simulations, gradient sweeps, grid
+//! combos), which is why the seams are placed at batch level and not inside
+//! per-gate loops.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Chunks handed out per worker. More than one so dynamic scheduling can
+/// absorb uneven per-item cost (e.g. mixed circuit widths in a search wave);
+/// small enough that chunk bookkeeping stays invisible next to the work.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// The closure receives `(index, &item)`. Output is bitwise identical to
+/// `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` at every
+/// thread count — see the crate docs for why.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_range(items.len(), |i| f(i, &items[i]))
+}
+
+/// Maps `f` over `0..len` in parallel, returning `vec![f(0), f(1), …]`.
+///
+/// Work is split into fixed-boundary chunks that idle workers claim from an
+/// atomic cursor; completed chunks are reassembled in index order, so the
+/// result is independent of which worker ran what. Runs inline (no threads)
+/// when the resolved budget is 1 or `len <= 1`.
+///
+/// A panic inside `f` finishes in-flight chunks on other workers, then
+/// resurfaces on the caller — the same observable behaviour as a panicking
+/// sequential loop, minus any wasted sibling work being visible.
+pub fn par_map_range<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = crate::threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+
+    let chunk_size = len.div_ceil((threads * CHUNKS_PER_THREAD).min(len));
+    let n_chunks = len.div_ceil(chunk_size);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    // Workers record spans under the caller's currently-open span path, so
+    // the profile report shows one merged tree instead of per-thread roots.
+    let span_path = hqnn_telemetry::current_span_path();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let _path = hqnn_telemetry::propagate_span_path(span_path.clone());
+                // Budget 1 inside workers: the outermost parallel seam owns
+                // the threads; nested par_map calls run inline.
+                crate::with_threads(1, || loop {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    let start = chunk * chunk_size;
+                    let end = (start + chunk_size).min(len);
+                    let part: Vec<R> = (start..end).map(&f).collect();
+                    done.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((chunk, part));
+                });
+            });
+        }
+    });
+
+    hqnn_telemetry::counter("runtime.par_calls", 1);
+    hqnn_telemetry::counter("runtime.par_items", len as u64);
+
+    let mut chunks = done.into_inner().unwrap_or_else(|e| e.into_inner());
+    chunks.sort_unstable_by_key(|(idx, _)| *idx);
+    let mut out = Vec::with_capacity(len);
+    for (_, mut part) in chunks {
+        out.append(&mut part);
+    }
+    debug_assert_eq!(out.len(), len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 3, 8, 33] {
+            let got = with_threads(threads, || par_map_range(100, |i| i * 10));
+            let want: Vec<usize> = (0..100).map(|i| i * 10).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map_range(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_range(1, |i| i + 41), vec![41]);
+        assert_eq!(par_map(&[] as &[u8], |_, b| *b), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn par_map_passes_index_and_item() {
+        let items = ["a", "bb", "ccc"];
+        let got = with_threads(2, || par_map(&items, |i, s| (i, s.len())));
+        assert_eq!(got, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn f64_results_bitwise_identical_across_thread_counts() {
+        // Per-item work mixes non-associative f64 ops; equality must hold
+        // bit-for-bit, not just approximately.
+        let work = |i: usize| {
+            let mut acc = 0.0f64;
+            for k in 1..=64 {
+                acc += ((i * k) as f64).sin() / (k as f64).sqrt();
+            }
+            acc
+        };
+        let seq: Vec<u64> = (0..257).map(|i| work(i).to_bits()).collect();
+        for threads in [2, 5, 16] {
+            let par: Vec<u64> = with_threads(threads, || par_map_range(257, work))
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_inline_in_workers() {
+        let nested_budgets = with_threads(4, || par_map_range(8, |_| crate::threads()));
+        assert_eq!(nested_budgets, vec![1; 8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_range(16, |i| {
+                    if i == 11 {
+                        panic!("item 11 exploded");
+                    }
+                    i
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn worker_spans_merge_under_caller_path() {
+        // Uses record_duration via a real span inside workers; the recorded
+        // path must be prefixed by the span open on the calling thread.
+        let _outer = hqnn_telemetry::span("pool_test_outer");
+        with_threads(2, || {
+            par_map_range(4, |_| {
+                let _inner = hqnn_telemetry::span("pool_test_inner");
+            })
+        });
+        let snap = hqnn_telemetry::snapshot();
+        let key = snap
+            .spans
+            .keys()
+            .find(|k| k.contains("pool_test_inner"))
+            .expect("inner span recorded");
+        assert!(
+            key.contains("pool_test_outer/pool_test_inner"),
+            "got path {key:?}"
+        );
+    }
+}

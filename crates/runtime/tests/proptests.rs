@@ -1,0 +1,51 @@
+//! Property tests: the parallel map is an exact drop-in for the sequential
+//! loop at every (length, thread-count) combination, bit for bit.
+
+use proptest::prelude::*;
+
+/// Non-associative f64 work whose result would drift under any reordering
+/// or regrouping of the accumulation.
+fn work(seed: u64, i: usize) -> f64 {
+    let mut acc = seed as f64 * 1e-9;
+    for k in 1..=48 {
+        acc += (((i + 1) * k) as f64).sin() / ((k as f64) + acc.abs()).sqrt();
+    }
+    acc
+}
+
+proptest! {
+    #[test]
+    fn par_map_range_bitwise_matches_sequential(
+        seed in 0u64..1_000_000_000,
+        len in 0usize..300,
+        threads in 1usize..9,
+    ) {
+        let seq: Vec<u64> = (0..len).map(|i| work(seed, i).to_bits()).collect();
+        let par: Vec<u64> = hqnn_runtime::with_threads(threads, || {
+            hqnn_runtime::par_map_range(len, |i| work(seed, i))
+        })
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_bitwise_matches_sequential(
+        items in proptest::collection::vec(0u32..1_000_000, 0..200),
+        threads in 1usize..9,
+    ) {
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| work(*x as u64, i).to_bits())
+            .collect();
+        let par: Vec<u64> = hqnn_runtime::with_threads(threads, || {
+            hqnn_runtime::par_map(&items, |i, x| work(*x as u64, i))
+        })
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+        prop_assert_eq!(par, seq);
+    }
+}

@@ -265,12 +265,44 @@ pub fn evaluate_combo(
     }
 }
 
+/// Trains a contiguous wave of combos concurrently, one outcome per spec in
+/// input order. `salts[i]` seeds `specs[i]`'s RNG streams, so each outcome
+/// is independent of wave composition and thread count — this is the unit
+/// the parallel search speculates on, and what the `search.combo_parallel`
+/// benchmark measures.
+///
+/// # Panics
+///
+/// Panics if `salts.len() != specs.len()`.
+pub fn evaluate_combo_wave(
+    specs: &[&ModelSpec],
+    data: &PreparedData,
+    config: &SearchConfig,
+    cost: &CostModel,
+    salts: &[u64],
+) -> Vec<ComboOutcome> {
+    assert_eq!(specs.len(), salts.len(), "one salt per spec");
+    hqnn_runtime::par_map_range(specs.len(), |i| {
+        let _combo_span = telemetry::span("search.combo");
+        evaluate_combo(specs[i], data, config, cost, salts[i])
+    })
+}
+
 /// Runs the full protocol for one complexity level over a search space:
 /// sorts by FLOPs, trains cheapest-first until a combo passes, and repeats
 /// `config.repetitions` times with independent random streams.
 ///
-/// `progress` is invoked after every combo evaluation — binaries use it for
-/// live logging; pass `|_,_| {}` to ignore.
+/// Combos are trained in speculative waves of `hqnn_runtime::threads()`
+/// concurrent evaluations. Because every combo's outcome is determined by
+/// its salt alone, scanning each wave in FLOPs order and truncating at the
+/// first pass reproduces the sequential early-stop **exactly**: the
+/// evaluated list, winner, telemetry counters, and `progress` calls are
+/// byte-identical at every thread count. (Speculative combos past the first
+/// pass are trained and discarded — that cost shows in the `search.combo`
+/// span count but never in results.)
+///
+/// `progress` is invoked for every *retained* combo evaluation — binaries
+/// use it for live logging; pass `|_,_| {}` to ignore.
 ///
 /// # Panics
 ///
@@ -301,45 +333,53 @@ pub fn search_level(
     sorted.sort_by_key(|s| s.flops(cost).total());
 
     let data = prepare_level_data(config, n_features);
+    let total = sorted.len().min(config.max_combos_per_repetition);
+    let wave_size = hqnn_runtime::threads();
     let mut repetitions = Vec::with_capacity(config.repetitions);
     for rep in 0..config.repetitions {
         let mut evaluated = Vec::new();
         let mut winner = None;
-        for (combo_idx, spec) in sorted
-            .iter()
-            .take(config.max_combos_per_repetition)
-            .enumerate()
-        {
+        let mut next = 0;
+        while next < total && winner.is_none() {
+            let wave_end = (next + wave_size).min(total);
             // Salt layout: (level, repetition, combo) → independent streams.
-            let salt = (n_features as u64) << 32 | (rep as u64) << 16 | combo_idx as u64;
-            let outcome = {
-                let _combo_span = telemetry::span("search.combo");
-                evaluate_combo(spec, &data, config, cost, salt)
-            };
-            telemetry::counter("search.combos_evaluated", 1);
-            telemetry::counter("flops.estimated_total", outcome.flops.total());
-            telemetry::event(
-                telemetry::Level::Info,
-                "search.combo",
-                &[
-                    ("n_features", n_features.into()),
-                    ("rep", rep.into()),
-                    ("combo", combo_idx.into()),
-                    ("model", outcome.spec.label().into()),
-                    ("params", outcome.param_count.into()),
-                    ("flops", outcome.flops.total().into()),
-                    ("train_acc", outcome.avg_train_accuracy.into()),
-                    ("val_acc", outcome.avg_val_accuracy.into()),
-                    ("passed", outcome.passed.into()),
-                ],
-            );
-            progress(rep, &outcome);
-            let passed = outcome.passed;
-            evaluated.push(outcome);
-            if passed {
-                winner = Some(evaluated.len() - 1);
-                break;
+            let salts: Vec<u64> = (next..wave_end)
+                .map(|combo_idx| (n_features as u64) << 32 | (rep as u64) << 16 | combo_idx as u64)
+                .collect();
+            let outcomes =
+                evaluate_combo_wave(&sorted[next..wave_end], &data, config, cost, &salts);
+            // Scan the wave cheapest-first and truncate at the first pass:
+            // combos after it were speculative work and are discarded
+            // unreported, keeping results and telemetry identical to the
+            // sequential early-stop.
+            for (offset, outcome) in outcomes.into_iter().enumerate() {
+                let combo_idx = next + offset;
+                telemetry::counter("search.combos_evaluated", 1);
+                telemetry::counter("flops.estimated_total", outcome.flops.total());
+                telemetry::event(
+                    telemetry::Level::Info,
+                    "search.combo",
+                    &[
+                        ("n_features", n_features.into()),
+                        ("rep", rep.into()),
+                        ("combo", combo_idx.into()),
+                        ("model", outcome.spec.label().into()),
+                        ("params", outcome.param_count.into()),
+                        ("flops", outcome.flops.total().into()),
+                        ("train_acc", outcome.avg_train_accuracy.into()),
+                        ("val_acc", outcome.avg_val_accuracy.into()),
+                        ("passed", outcome.passed.into()),
+                    ],
+                );
+                progress(rep, &outcome);
+                let passed = outcome.passed;
+                evaluated.push(outcome);
+                if passed {
+                    winner = Some(evaluated.len() - 1);
+                    break;
+                }
             }
+            next = wave_end;
         }
         repetitions.push(RepetitionOutcome {
             repetition: rep,
@@ -420,6 +460,52 @@ mod tests {
             // FLOPs ascending order was respected.
             let flops: Vec<u64> = rep.evaluated.iter().map(|c| c.flops.total()).collect();
             assert!(flops.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn search_level_is_byte_identical_across_thread_counts() {
+        let config = smoke();
+        let cost = CostModel::default();
+        let space = classical_space(4, 3);
+        let baseline = hqnn_runtime::with_threads(1, || {
+            search_level(&space, 4, &config, &cost, &mut |_, _| {})
+        });
+        let baseline_json = serde_json::to_string(&baseline).expect("serialize");
+        for threads in [2, 7] {
+            let mut progress = Vec::new();
+            let result = hqnn_runtime::with_threads(threads, || {
+                search_level(&space, 4, &config, &cost, &mut |rep, combo| {
+                    progress.push((rep, combo.spec.label()));
+                })
+            });
+            assert_eq!(result, baseline, "threads={threads}");
+            let json = serde_json::to_string(&result).expect("serialize");
+            assert_eq!(json, baseline_json, "threads={threads}");
+            // Progress callbacks fire only for retained combos, in order.
+            let evaluated: Vec<(usize, String)> = baseline
+                .repetitions
+                .iter()
+                .flat_map(|r| r.evaluated.iter().map(|c| (r.repetition, c.spec.label())))
+                .collect();
+            assert_eq!(progress, evaluated, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn evaluate_combo_wave_matches_individual_evaluations() {
+        let config = smoke();
+        let cost = CostModel::default();
+        let data = prepare_level_data(&config, 4);
+        let space = classical_space(4, 3);
+        let specs: Vec<&ModelSpec> = space.iter().take(3).collect();
+        let salts = [11u64, 22, 33];
+        let wave = hqnn_runtime::with_threads(3, || {
+            evaluate_combo_wave(&specs, &data, &config, &cost, &salts)
+        });
+        for (i, outcome) in wave.iter().enumerate() {
+            let solo = evaluate_combo(specs[i], &data, &config, &cost, salts[i]);
+            assert_eq!(outcome, &solo, "combo {i}");
         }
     }
 

@@ -1,0 +1,40 @@
+//! Acceptance test for the batch execution engine: a full study produces
+//! **byte-identical** JSON at `HQNN_THREADS=1` and `HQNN_THREADS=8` with the
+//! same seeds. This is the end-to-end determinism criterion the refactor is
+//! gated on — every parallel seam (qsim batches, nn reductions, tensor
+//! matmul, search combo waves) sits under this study.
+
+use hqnn_search::{ExperimentConfig, StudyResult};
+
+/// One smoke-scale study at the given thread budget, serialised to the same
+/// pretty JSON that `StudyResult::save` writes. The manifest stays `None`
+/// (as `StudyResult::new` leaves it), so the comparison covers every
+/// computed number without provenance noise like timestamps.
+fn study_json(threads: usize) -> String {
+    hqnn_runtime::with_threads(threads, || {
+        let mut config = ExperimentConfig::smoke();
+        config.levels = vec![4];
+        let mut study = StudyResult::new(config);
+        study.run_classical();
+        study.run_bel();
+        serde_json::to_string_pretty(&study).expect("serialize study")
+    })
+}
+
+#[test]
+fn study_json_is_byte_identical_at_1_and_8_threads() {
+    let sequential = study_json(1);
+    let parallel = study_json(8);
+    assert!(
+        sequential == parallel,
+        "study JSON diverged between 1 and 8 threads\n\
+         first differing byte at offset {:?}",
+        sequential
+            .bytes()
+            .zip(parallel.bytes())
+            .position(|(a, b)| a != b)
+    );
+    // Sanity: the study actually ran something.
+    assert!(sequential.contains("\"classical\""));
+    assert!(sequential.len() > 1_000);
+}

@@ -49,7 +49,7 @@ pub use manifest::{config_hash, RunManifest};
 pub use registry::{CounterSnapshot, Snapshot, SpanStats};
 pub use report::report;
 pub use sink::{MemorySink, Sink};
-pub use span::SpanGuard;
+pub use span::{current_span_path, propagate_span_path, PropagatedPathGuard, SpanGuard};
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -198,12 +198,32 @@ pub fn counter(name: &str, delta: u64) {
 }
 
 /// Sets the named gauge to `value` (last write wins).
+///
+/// Under concurrency, last-writer-wins makes the stored value depend on
+/// thread scheduling. Gauges that multiple threads write — e.g. a
+/// working-set-size gauge updated by parallel workers — should use
+/// [`gauge_max`] instead, whose result is schedule-independent.
 pub fn gauge(name: &str, value: f64) {
     registry::global().set_gauge(name, value);
     if enabled(Level::Trace) {
         event(
             Level::Trace,
             "gauge",
+            &[("name", name.into()), ("value", value.into())],
+        );
+    }
+}
+
+/// Raises the named gauge to `value` if higher than its current value — a
+/// high-water mark over the report window (i.e. since the last
+/// [`reset`]/startup). Race-free under concurrent writers: whatever the
+/// interleaving, the stored value is the maximum ever observed.
+pub fn gauge_max(name: &str, value: f64) {
+    registry::global().set_gauge_max(name, value);
+    if enabled(Level::Trace) {
+        event(
+            Level::Trace,
+            "gauge_max",
             &[("name", name.into()), ("value", value.into())],
         );
     }

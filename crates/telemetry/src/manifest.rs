@@ -27,7 +27,10 @@ pub struct RunManifest {
     pub host_arch: String,
     /// Host name, or `"unknown"` when undiscoverable.
     pub hostname: String,
-    /// Hardware threads available to the process.
+    /// Worker threads the run's parallel runtime was configured with:
+    /// `HQNN_THREADS` when set (and valid), otherwise the hardware threads
+    /// available to the process. Published numbers are only comparable
+    /// between runs with equal `threads`.
     pub threads: usize,
     /// FNV-1a hash of the run's configuration JSON (`"-"` when not set).
     pub config_hash: String,
@@ -54,9 +57,7 @@ impl RunManifest {
             host_os: std::env::consts::OS.to_string(),
             host_arch: std::env::consts::ARCH.to_string(),
             hostname: hostname(),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: configured_threads(),
             config_hash: "-".to_string(),
             timestamp_unix: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
@@ -101,6 +102,22 @@ pub fn config_hash<T: Serialize + ?Sized>(config: &T) -> String {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     format!("{hash:016x}")
+}
+
+/// Thread count the run executes with. Mirrors `hqnn-runtime`'s resolution
+/// order (`HQNN_THREADS` env, then hardware parallelism) without depending
+/// on it — `hqnn-runtime` depends on this crate, not the other way round.
+fn configured_threads() -> usize {
+    if let Ok(raw) = std::env::var("HQNN_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn git_stdout(args: &[&str]) -> Option<String> {

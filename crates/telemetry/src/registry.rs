@@ -117,6 +117,18 @@ impl Registry {
         gauges.insert(name.to_string(), value);
     }
 
+    /// Raises the gauge to `value` if it is higher than the stored value
+    /// (or absent). Unlike [`Registry::set_gauge`]'s last-writer-wins, this
+    /// is order-independent, so concurrent writers race-freely converge on
+    /// the same high-water mark.
+    pub(crate) fn set_gauge_max(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.lock().unwrap();
+        gauges
+            .entry(name.to_string())
+            .and_modify(|v| *v = v.max(value))
+            .or_insert(value);
+    }
+
     pub(crate) fn snapshot(&self) -> Snapshot {
         let spans = self
             .spans

@@ -10,6 +10,54 @@ thread_local! {
     /// joined with `/`, so nesting is tracked per thread while aggregation
     /// is global.
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Inherited path prefix for spans opened on this thread — set by worker
+    /// threads (via [`propagate_span_path`]) so their span trees merge under
+    /// the spawning thread's open span instead of forming disconnected roots.
+    static PREFIX: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// The `/`-joined path of the innermost span currently open on this thread
+/// (including any inherited prefix), or `None` outside every span.
+///
+/// Thread pools capture this on the spawning thread and install it in their
+/// workers with [`propagate_span_path`], which is what keeps one `report()`
+/// span tree across a fan-out.
+pub fn current_span_path() -> Option<String> {
+    let local = STACK.with(|stack| {
+        let stack = stack.borrow();
+        if stack.is_empty() {
+            None
+        } else {
+            Some(stack.join("/"))
+        }
+    });
+    PREFIX.with(|prefix| match (prefix.borrow().as_deref(), local) {
+        (Some(p), Some(l)) => Some(format!("{p}/{l}")),
+        (Some(p), None) => Some(p.to_string()),
+        (None, l) => l,
+    })
+}
+
+/// Installs `path` as this thread's span-path prefix until the returned
+/// guard drops (restoring the previous prefix). Spans opened while the guard
+/// lives aggregate under `path/...`, merging worker-thread span trees into
+/// the spawning thread's tree.
+#[must_use = "the prefix is removed when the guard drops"]
+pub fn propagate_span_path(path: Option<String>) -> PropagatedPathGuard {
+    let previous = PREFIX.with(|prefix| prefix.replace(path));
+    PropagatedPathGuard { previous }
+}
+
+/// Guard returned by [`propagate_span_path`]; restores the thread's previous
+/// prefix on drop.
+pub struct PropagatedPathGuard {
+    previous: Option<String>,
+}
+
+impl Drop for PropagatedPathGuard {
+    fn drop(&mut self) {
+        PREFIX.with(|prefix| *prefix.borrow_mut() = self.previous.take());
+    }
 }
 
 /// Guard returned by [`crate::span`]; records the elapsed time under the
@@ -21,10 +69,14 @@ pub struct SpanGuard {
 
 impl SpanGuard {
     pub(crate) fn enter(name: &'static str) -> SpanGuard {
-        let path = STACK.with(|stack| {
+        let local = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             stack.push(name);
             stack.join("/")
+        });
+        let path = PREFIX.with(|prefix| match prefix.borrow().as_deref() {
+            Some(p) => format!("{p}/{local}"),
+            None => local,
         });
         crate::trace::record(true, name);
         SpanGuard {
@@ -70,5 +122,25 @@ mod tests {
         assert_eq!(a.path(), "alpha");
         let b = crate::span("beta");
         assert_eq!(b.path(), "alpha/beta");
+    }
+
+    #[test]
+    fn propagated_prefix_nests_and_restores() {
+        assert_eq!(super::current_span_path(), None);
+        let outer = crate::span("outer");
+        assert_eq!(super::current_span_path().as_deref(), Some("outer"));
+        {
+            let _g = super::propagate_span_path(Some("parent/worker".to_string()));
+            assert_eq!(
+                super::current_span_path().as_deref(),
+                Some("parent/worker/outer")
+            );
+            let inner = crate::span("inner");
+            assert_eq!(inner.path(), "parent/worker/outer/inner");
+        }
+        // Guard dropped: prefix restored.
+        assert_eq!(super::current_span_path().as_deref(), Some("outer"));
+        drop(outer);
+        assert_eq!(super::current_span_path(), None);
     }
 }

@@ -7,6 +7,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::rng::SeededRng;
 
+/// Minimum `rows · inner · cols` product (≈ multiply-add count) before
+/// [`Matrix::matmul`] fans rows out across the parallel runtime. Below this,
+/// scoped-thread spawn overhead (tens of µs) exceeds the whole product.
+const PAR_MATMUL_MIN_WORK: usize = 32 * 1024;
+
 /// A dense, row-major `f64` matrix.
 ///
 /// `Matrix` is the single tensor type of the workspace: a batch of samples is
@@ -238,20 +243,45 @@ impl Matrix {
             2 * (self.rows * self.cols * other.cols) as u64,
         );
         let mut out = Self::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let src = &other.data[k * other.cols..(k + 1) * other.cols];
-                let dst = &mut out.data[r * other.cols..(r + 1) * other.cols];
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d += a * s;
-                }
+        // Output rows are independent, so large products fan rows out across
+        // the runtime; each row runs the identical inner loop either way, so
+        // the gate only changes wall-clock, never a single bit of the result.
+        // Small products stay inline — thread spawn would dominate them.
+        let work = self.rows * self.cols * other.cols;
+        if self.rows > 1 && work >= PAR_MATMUL_MIN_WORK && hqnn_runtime::threads() > 1 {
+            let rows = hqnn_runtime::par_map_range(self.rows, |r| {
+                let mut dst = vec![0.0; other.cols];
+                self.matmul_row(other, r, &mut dst);
+                dst
+            });
+            for (r, row) in rows.iter().enumerate() {
+                out.data[r * other.cols..(r + 1) * other.cols].copy_from_slice(row);
+            }
+        } else {
+            for r in 0..self.rows {
+                self.matmul_row(
+                    other,
+                    r,
+                    &mut out.data[r * other.cols..(r + 1) * other.cols],
+                );
             }
         }
         out
+    }
+
+    /// Accumulates row `r` of `self · other` into the zeroed slice `dst`.
+    /// Both matmul paths share this loop so their results are identical.
+    fn matmul_row(&self, other: &Self, r: usize, dst: &mut [f64]) {
+        for k in 0..self.cols {
+            let a = self[(r, k)];
+            if a == 0.0 {
+                continue;
+            }
+            let src = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += a * s;
+            }
+        }
     }
 
     /// Elementwise map, returning a new matrix.
@@ -666,5 +696,25 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(format!("{}", sample()).contains("Matrix 2x3"));
+    }
+
+    #[test]
+    fn parallel_matmul_bitwise_matches_sequential() {
+        // Big enough to clear PAR_MATMUL_MIN_WORK (64³ = 262144), with a few
+        // exact zeros sprinkled in to exercise the skip branch on both paths.
+        let mut rng = SeededRng::new(42);
+        let mut a = Matrix::uniform(64, 64, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(64, 64, -1.0, 1.0, &mut rng);
+        for i in 0..64 {
+            a[(i, (i * 7) % 64)] = 0.0;
+        }
+        let seq = hqnn_runtime::with_threads(1, || a.matmul(&b));
+        for threads in [2, 3, 7] {
+            let par = hqnn_runtime::with_threads(threads, || a.matmul(&b));
+            assert_eq!(par.shape(), seq.shape());
+            for (x, y) in par.as_slice().iter().zip(seq.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+            }
+        }
     }
 }
