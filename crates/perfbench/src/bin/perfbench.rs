@@ -13,7 +13,7 @@
 //! perfbench --trace-out trace.json   # Chrome trace + .folded flamegraph input
 //! ```
 
-use hqnn_perfbench::{compare, gate, has_regressions, run_suite, BenchReport, Scale};
+use hqnn_perfbench::{compare, gate, has_regressions, missing_ids, run_suite, BenchReport, Scale};
 use hqnn_telemetry as telemetry;
 use std::path::PathBuf;
 use std::process::exit;
@@ -27,6 +27,7 @@ struct Args {
     out_dir: PathBuf,
     check: Option<PathBuf>,
     advisory: bool,
+    allow_missing: bool,
     update_baseline: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     log_json: Option<PathBuf>,
@@ -45,6 +46,8 @@ fn usage() -> ! {
          --check [BASELINE]  compare against a baseline (default bench/baseline.json)\n\
          \x20                    and exit 1 when any benchmark regresses\n\
          --advisory          with --check: report regressions but always exit 0\n\
+         --allow-missing     with --check: tolerate baseline benchmarks absent from\n\
+         \x20                    this run (renamed/removed/filtered); fails otherwise\n\
          --update-baseline   rewrite the baseline (default bench/baseline.json) from this run\n\
          --trace-out PATH    write a Chrome trace JSON (+ PATH.folded flamegraph input)\n\
          --log-json PATH     mirror telemetry events to a JSONL file\n\
@@ -84,6 +87,7 @@ fn parse() -> Args {
         out_dir: PathBuf::from(DEFAULT_OUT_DIR),
         check: None,
         advisory: false,
+        allow_missing: false,
         update_baseline: None,
         trace_out: None,
         log_json: None,
@@ -97,6 +101,7 @@ fn parse() -> Args {
             "--out" => args.out_dir = PathBuf::from(required_value(&argv, &mut i, "--out")),
             "--check" => args.check = Some(optional_path(&argv, &mut i, DEFAULT_BASELINE)),
             "--advisory" => args.advisory = true,
+            "--allow-missing" => args.allow_missing = true,
             "--update-baseline" => {
                 args.update_baseline = Some(optional_path(&argv, &mut i, DEFAULT_BASELINE))
             }
@@ -201,6 +206,23 @@ fn main() {
                 let comparisons = compare(&baseline, &report, &gate::GateConfig::default());
                 println!("\nregression gate vs {}:", baseline_path.display());
                 print!("{}", gate::render(&comparisons));
+                let missing = missing_ids(&comparisons);
+                if !missing.is_empty() {
+                    println!(
+                        "baseline benchmarks missing from this run: {}",
+                        missing.join(", ")
+                    );
+                    if args.allow_missing {
+                        println!("missing benchmarks tolerated (--allow-missing)");
+                    } else if args.advisory {
+                        println!("missing benchmarks detected (advisory mode: not failing)");
+                    } else {
+                        println!(
+                            "missing benchmarks drop baseline coverage; pass --allow-missing to tolerate"
+                        );
+                        failed = true;
+                    }
+                }
                 if has_regressions(&comparisons) {
                     if args.advisory {
                         println!("regressions detected (advisory mode: not failing)");
@@ -208,7 +230,7 @@ fn main() {
                         println!("regressions detected");
                         failed = true;
                     }
-                } else {
+                } else if !failed {
                     println!("gate passed");
                 }
             }

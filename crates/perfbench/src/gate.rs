@@ -124,6 +124,21 @@ pub fn has_regressions(comparisons: &[Comparison]) -> bool {
     comparisons.iter().any(|c| c.verdict == Verdict::Regression)
 }
 
+/// Ids of baseline benchmarks absent from the current run
+/// ([`Verdict::Missing`]), in baseline order.
+///
+/// A missing benchmark has `delta = 0` and would otherwise sail through the
+/// gate — but a rename or deletion silently dropping baseline coverage is a
+/// gate failure in its own right, so `--check` treats a non-empty result as
+/// failing unless `--allow-missing` is passed.
+pub fn missing_ids(comparisons: &[Comparison]) -> Vec<&str> {
+    comparisons
+        .iter()
+        .filter(|c| c.verdict == Verdict::Missing)
+        .map(|c| c.id.as_str())
+        .collect()
+}
+
 /// Renders the comparison table for stdout.
 pub fn render(comparisons: &[Comparison]) -> String {
     let mut out = format!(

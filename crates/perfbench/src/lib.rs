@@ -33,7 +33,7 @@ pub mod report;
 pub mod stats;
 pub mod suite;
 
-pub use gate::{compare, has_regressions, Comparison, GateConfig, Verdict};
+pub use gate::{compare, has_regressions, missing_ids, Comparison, GateConfig, Verdict};
 pub use report::{BenchReport, BenchResult, SCHEMA_VERSION};
 pub use stats::{summarize, Summary};
 pub use suite::{default_suite, run_suite, Benchmark, Scale, REFERENCE_BENCH};

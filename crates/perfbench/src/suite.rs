@@ -12,7 +12,8 @@ use hqnn_core::{ClassicalSpec, HybridSpec};
 use hqnn_flops::CostModel;
 use hqnn_nn::{one_hot, Adam, SoftmaxCrossEntropy};
 use hqnn_qsim::{
-    adjoint, parameter_shift, EntanglerKind, GateKind, Observable, QnnTemplate, StateVector,
+    adjoint, parameter_shift, with_fusion, EntanglerKind, GateKind, Observable, QnnTemplate,
+    StateVector,
 };
 use hqnn_search::protocol::{evaluate_combo, evaluate_combo_wave, prepare_level_data};
 use hqnn_search::SearchConfig;
@@ -190,6 +191,37 @@ pub fn default_suite() -> Vec<Benchmark> {
         });
     }
 
+    // -- qsim.statevector_evolve_fused: same circuit, fused gate runs -----
+    // The opt-in `HQNN_FUSE` path over the identical workload: encoding RX +
+    // Rot runs collapse into one matrix apply per wire per layer. Has its
+    // own baseline entry because fused output is rounding-equal (not
+    // bitwise) to the scalar path.
+    {
+        let template = QnnTemplate::new(6, 4, EntanglerKind::Strong);
+        let circuit = template.build();
+        let inputs: Vec<f64> = (0..circuit.input_count())
+            .map(|i| 0.1 + i as f64 * 0.2)
+            .collect();
+        let params: Vec<f64> = (0..circuit.trainable_count())
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect();
+        let flops = cost
+            .circuit_forward(&circuit.op_census(), circuit.n_qubits())
+            .total();
+        suite.push(Benchmark {
+            id: "qsim.statevector_evolve_fused",
+            throughput_unit: "circuit-runs",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: Some(flops),
+            heavy: false,
+            run: Box::new(move || {
+                with_fusion(true, || {
+                    black_box(circuit.run(black_box(&inputs), black_box(&params)));
+                });
+            }),
+        });
+    }
+
     // -- qsim.run_batch: batched forward pass through the runtime ---------
     // The batch seam the thread-scaling gate watches: one iteration evolves
     // a whole batch of rows through the same circuit via `run_batch`, which
@@ -216,6 +248,36 @@ pub fn default_suite() -> Vec<Benchmark> {
             heavy: false,
             run: Box::new(move || {
                 black_box(circuit.run_batch(black_box(&inputs), black_box(&params)));
+            }),
+        });
+    }
+
+    // -- qsim.run_batch_fused: the same batch through the fused path ------
+    // One shared `FusePlan` serves every row (it is a pure function of the
+    // circuit), so this measures fusion's win on the batch seam itself.
+    {
+        const BATCH: usize = 16;
+        let template = QnnTemplate::new(6, 4, EntanglerKind::Strong);
+        let circuit = template.build();
+        let mut rng = SeededRng::new(31);
+        let inputs = Matrix::uniform(BATCH, circuit.input_count(), -1.0, 1.0, &mut rng);
+        let params: Vec<f64> = (0..circuit.trainable_count())
+            .map(|i| (i as f64 * 0.53).sin())
+            .collect();
+        let flops = BATCH as u64
+            * cost
+                .circuit_forward(&circuit.op_census(), circuit.n_qubits())
+                .total();
+        suite.push(Benchmark {
+            id: "qsim.run_batch_fused",
+            throughput_unit: "circuit-runs",
+            ops_per_iter: BATCH as u64,
+            analytic_flops_per_iter: Some(flops),
+            heavy: false,
+            run: Box::new(move || {
+                with_fusion(true, || {
+                    black_box(circuit.run_batch(black_box(&inputs), black_box(&params)));
+                });
             }),
         });
     }

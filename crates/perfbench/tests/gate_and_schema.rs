@@ -4,7 +4,7 @@
 //! vendored `serde_json` (old baselines must keep loading).
 
 use hqnn_perfbench::{
-    compare, has_regressions, BenchReport, BenchResult, GateConfig, Summary, Verdict,
+    compare, has_regressions, missing_ids, BenchReport, BenchResult, GateConfig, Summary, Verdict,
     REFERENCE_BENCH, SCHEMA_VERSION,
 };
 use hqnn_telemetry::RunManifest;
@@ -81,7 +81,7 @@ fn noisy_benchmarks_get_a_wider_band() {
 }
 
 #[test]
-fn new_and_missing_benchmarks_are_flagged_but_not_failures() {
+fn new_and_missing_benchmarks_are_flagged_but_not_regressions() {
     let baseline = report(vec![result("removed", 1_000, 10)]);
     let current = report(vec![result("added", 2_000, 10)]);
     let cmp = compare(&baseline, &current, &GateConfig::default());
@@ -90,7 +90,25 @@ fn new_and_missing_benchmarks_are_flagged_but_not_failures() {
     assert_eq!(cmp[0].verdict, Verdict::Missing);
     assert_eq!(cmp[1].id, "added");
     assert_eq!(cmp[1].verdict, Verdict::New);
+    // Missing is not a *regression* — but the CLI `--check` still fails on
+    // it (lost coverage) unless `--allow-missing`; see `missing_ids`.
     assert!(!has_regressions(&cmp));
+    assert_eq!(missing_ids(&cmp), vec!["removed"]);
+}
+
+#[test]
+fn missing_ids_preserve_baseline_order_and_ignore_other_verdicts() {
+    let baseline = report(vec![
+        result("kept", 1_000, 10),
+        result("gone.z", 1_000, 10),
+        result("gone.a", 1_000, 10),
+    ]);
+    let current = report(vec![result("kept", 1_001, 10), result("new", 5, 1)]);
+    let cmp = compare(&baseline, &current, &GateConfig::default());
+    assert_eq!(missing_ids(&cmp), vec!["gone.z", "gone.a"]);
+
+    let full = compare(&baseline, &baseline, &GateConfig::default());
+    assert!(missing_ids(&full).is_empty());
 }
 
 /// A frozen `BENCH_*.json` document (schema version 1). If this stops
@@ -154,6 +172,8 @@ fn schema_snapshot_stays_parseable() {
     assert_eq!(report.schema_version, SCHEMA_VERSION);
     assert_eq!(report.manifest.git_sha, "0123456789ab");
     assert_eq!(report.manifest.threads, 8);
+    // Snapshot predates the manifest's `fuse` field; absent parses as false.
+    assert!(!report.manifest.fuse);
     assert_eq!(report.results.len(), 2);
 
     let matmul = report.result(REFERENCE_BENCH).expect("matmul present");

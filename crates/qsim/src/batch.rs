@@ -10,10 +10,42 @@
 use hqnn_tensor::Matrix;
 
 use crate::circuit::Circuit;
+use crate::fuse::{fusion_enabled, FusePlan};
+use crate::gates::Matrix2;
 use crate::gradient::{self, Gradients};
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
 use crate::state::StateVector;
+
+/// How a batch executes its rows, resolved **once on the caller thread**
+/// before the fan-out (thread-local overrides like
+/// [`crate::fuse::with_fusion`] do not propagate into pool workers, and the
+/// shared state below must be built exactly once per batch either way).
+enum BatchMode {
+    /// Fused execution: one [`FusePlan`] shared by every row.
+    Fused(FusePlan),
+    /// Scalar execution with per-op matrices that don't depend on the
+    /// per-sample inputs precomputed once and shared by every row — bitwise
+    /// identical to each row rebuilding them (same `θ`, same bits).
+    Tables(Vec<Option<Matrix2>>),
+}
+
+impl BatchMode {
+    fn resolve(circuit: &Circuit, params: &[f64]) -> Self {
+        if fusion_enabled() {
+            BatchMode::Fused(FusePlan::new(circuit))
+        } else {
+            BatchMode::Tables(circuit.precompute_tables(params))
+        }
+    }
+
+    fn run_row(&self, circuit: &Circuit, inputs: &[f64], params: &[f64]) -> StateVector {
+        match self {
+            BatchMode::Fused(plan) => plan.run(circuit, inputs, params),
+            BatchMode::Tables(tables) => circuit.run_with_tables(tables, inputs, params),
+        }
+    }
+}
 
 /// Which differentiation engine [`gradients_batch`] drives per row.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -38,7 +70,10 @@ impl Circuit {
     pub fn run_batch(&self, inputs: &Matrix, params: &[f64]) -> Vec<StateVector> {
         self.check_batch(inputs, params);
         let _span = hqnn_telemetry::span("qsim.run_batch");
-        hqnn_runtime::par_map_range(inputs.rows(), |r| self.run(inputs.row(r), params))
+        let mode = BatchMode::resolve(self, params);
+        hqnn_runtime::par_map_range(inputs.rows(), |r| {
+            mode.run_row(self, inputs.row(r), params)
+        })
     }
 
     /// Runs the circuit once per row of `inputs` and evaluates every
@@ -56,8 +91,13 @@ impl Circuit {
     ) -> Matrix {
         self.check_batch(inputs, params);
         let _span = hqnn_telemetry::span("qsim.expectations_batch");
+        let mode = BatchMode::resolve(self, params);
         let rows = hqnn_runtime::par_map_range(inputs.rows(), |r| {
-            self.expectations(inputs.row(r), params, observables)
+            let state = mode.run_row(self, inputs.row(r), params);
+            observables
+                .iter()
+                .map(|o| o.expectation(&state))
+                .collect::<Vec<f64>>()
         });
         let data: Vec<f64> = rows.into_iter().flatten().collect();
         Matrix::from_vec(inputs.rows(), observables.len(), data)
@@ -214,7 +254,34 @@ mod tests {
         assert!(c.run_batch(&x, &[0.0, 0.0]).is_empty());
         let e = c.expectations_batch(&x, &[0.0, 0.0], &z_all(2));
         assert_eq!(e.shape(), (0, 2));
-        assert!(gradients_batch(&c, GradEngine::Adjoint, &x, &[0.0, 0.0], &z_all(2)).is_empty());
+        let noise = NoiseModel::depolarizing(0.05);
+        for engine in [
+            GradEngine::Adjoint,
+            GradEngine::ParameterShift,
+            GradEngine::ParameterShiftNoisy(&noise),
+        ] {
+            assert!(
+                gradients_batch(&c, engine, &x, &[0.0, 0.0], &z_all(2)).is_empty(),
+                "engine={engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine_fused_and_threaded() {
+        // Zero rows through the fused path still builds the shared plan on
+        // the caller, then fans out nothing — under any thread budget.
+        let c = encoder_circuit();
+        let x = Matrix::zeros(0, 2);
+        for threads in [1, 4] {
+            hqnn_runtime::with_threads(threads, || {
+                crate::fuse::with_fusion(true, || {
+                    assert!(c.run_batch(&x, &[0.0, 0.0]).is_empty());
+                    let e = c.expectations_batch(&x, &[0.0, 0.0], &z_all(2));
+                    assert_eq!(e.shape(), (0, 2));
+                });
+            });
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::gates::GateKind;
+use crate::gates::{GateKind, Matrix2};
 use crate::observable::Observable;
 use crate::state::StateVector;
 use crate::MAX_QUBITS;
@@ -329,14 +329,13 @@ impl Circuit {
         }
     }
 
-    /// Runs the circuit on `|0…0⟩` with the given bindings and returns the
-    /// final state.
+    /// Checks that the bindings cover every referenced slot.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len() < input_count()` or
     /// `params.len() < trainable_count()`.
-    pub fn run(&self, inputs: &[f64], params: &[f64]) -> StateVector {
+    pub(crate) fn check_bindings(&self, inputs: &[f64], params: &[f64]) {
         assert!(
             inputs.len() >= self.n_inputs,
             "circuit expects {} inputs, got {}",
@@ -349,6 +348,40 @@ impl Circuit {
             self.n_trainable,
             params.len()
         );
+    }
+
+    /// Runs the circuit on `|0…0⟩` with the given bindings and returns the
+    /// final state.
+    ///
+    /// When gate fusion is enabled (see [`crate::fuse`]) this builds a
+    /// [`crate::FusePlan`] and executes through it; otherwise it applies ops
+    /// one by one. The fused result matches the scalar one to rounding but
+    /// is **not** bitwise identical — fusion is opt-in for exactly that
+    /// reason. Gradient engines always use [`Circuit::run_unfused`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() < input_count()` or
+    /// `params.len() < trainable_count()`.
+    pub fn run(&self, inputs: &[f64], params: &[f64]) -> StateVector {
+        if crate::fuse::fusion_enabled() {
+            return crate::fuse::FusePlan::new(self).run(self, inputs, params);
+        }
+        self.run_unfused(inputs, params)
+    }
+
+    /// Runs the circuit gate-by-gate, ignoring the fusion flag.
+    ///
+    /// This is the bitwise-reference execution path: its output is what the
+    /// determinism suites pin across thread counts, and what the adjoint and
+    /// parameter-shift engines replay so gradients never depend on whether
+    /// fusion is on.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Circuit::run`].
+    pub fn run_unfused(&self, inputs: &[f64], params: &[f64]) -> StateVector {
+        self.check_bindings(inputs, params);
         hqnn_telemetry::counter("qsim.circuit_runs", 1);
         hqnn_telemetry::counter("qsim.gate_applies", self.ops.len() as u64);
         // High-water-mark gauge: the largest statevector simulated since the
@@ -377,6 +410,59 @@ impl Circuit {
     ) -> Vec<f64> {
         let state = self.run(inputs, params);
         observables.iter().map(|o| o.expectation(&state)).collect()
+    }
+
+    /// Precomputes the gate matrix of every op whose angle does not depend
+    /// on the per-sample inputs (`Fixed`/`Trainable`/fixed gates), returning
+    /// one `Option<Matrix2>` slot per op. `Input`-parametrized ops and SWAPs
+    /// get `None` and are resolved at apply time.
+    ///
+    /// Batched execution shares one table across all rows: every row binds
+    /// the same trainable parameters, and `θ → matrix(θ)` is deterministic,
+    /// so the shared matrix is bitwise identical to the one each row would
+    /// rebuild — only the redundant `sin`/`cos` work is skipped.
+    pub(crate) fn precompute_tables(&self, params: &[f64]) -> Vec<Option<Matrix2>> {
+        self.ops
+            .iter()
+            .map(|op| match (op.kind, op.param) {
+                (GateKind::Swap, _) => None,
+                (_, ParamSource::Input(_)) => None,
+                (kind, param) => {
+                    let theta = if kind.is_parametrized() {
+                        param.resolve(&[], params)
+                    } else {
+                        0.0
+                    };
+                    Some(kind.matrix(theta))
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the circuit gate-by-gate, taking each op's matrix from `tables`
+    /// when present (see [`Circuit::precompute_tables`]) and resolving the
+    /// rest against the bindings. Bitwise identical to
+    /// [`Circuit::run_unfused`] for a table built from the same `params`.
+    pub(crate) fn run_with_tables(
+        &self,
+        tables: &[Option<Matrix2>],
+        inputs: &[f64],
+        params: &[f64],
+    ) -> StateVector {
+        assert_eq!(tables.len(), self.ops.len(), "table/ops length mismatch");
+        self.check_bindings(inputs, params);
+        hqnn_telemetry::counter("qsim.circuit_runs", 1);
+        hqnn_telemetry::counter("qsim.gate_applies", self.ops.len() as u64);
+        hqnn_telemetry::gauge_max("qsim.statevector_len", (1u64 << self.n_qubits) as f64);
+        let mut state = StateVector::new(self.n_qubits);
+        for (op, table) in self.ops.iter().zip(tables) {
+            match (table, op.wires) {
+                (Some(m), Wires::One(w)) => state.apply_single(m, w),
+                (Some(m), Wires::Two(a, b)) => state.apply_controlled(m, a, b),
+                (None, _) => Self::apply_op(op, &mut state, inputs, params),
+            }
+        }
+        state
     }
 
     /// Counts ops by how the FLOPs model classifies them:

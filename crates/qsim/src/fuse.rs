@@ -1,0 +1,352 @@
+//! Gate fusion: collapse runs of adjacent single-qubit gates on the same
+//! wire into one precomputed 2×2 matrix before the statevector sweep.
+//!
+//! The paper's ansätze emit exactly such runs — an encoding rotation
+//! followed by a trainable `Rot` decomposed as `RZ·RY·RZ` puts up to four
+//! consecutive single-qubit gates on every wire per layer — so fusing them
+//! replaces four full-state sweeps with one. The pass has two halves:
+//!
+//! * [`FusePlan`] — a **structural** pass over the circuit IR, computed once
+//!   per circuit (and shared across a whole batch in
+//!   [`crate::Circuit::run_batch`]): which ops collapse into which
+//!   single-wire runs. Building the plan never looks at parameter values,
+//!   so one plan serves every row of a batch.
+//! * [`FusePlan::run`] — execution: resolve each run's angles, multiply its
+//!   matrices into one [`Matrix2`], and apply it with the ordinary
+//!   amplitude-pair kernel.
+//!
+//! Fusion reassociates floating-point products (`U₃·(U₂·(U₁ψ))` becomes
+//! `(U₃U₂U₁)·ψ`), so fused amplitudes differ from the scalar path in the
+//! last ulps. It is therefore **opt-in**: enabled by `HQNN_FUSE=1` in the
+//! environment or a scoped [`with_fusion`] override (innermost wins), and
+//! benchmarked under its own `bench/baseline.json` entries
+//! (`qsim.statevector_evolve_fused`, `qsim.run_batch_fused`). The fused
+//! path is still **deterministic**: a plan is a pure function of the
+//! circuit, so results are bitwise identical run-to-run and at every thread
+//! count — `crates/qsim/tests/batch_determinism.rs` holds it to the same
+//! bar as the scalar runtime.
+//!
+//! Gradient engines never fuse. The adjoint reverse walk and the
+//! parameter-shift rule both step gate-by-gate through the original op
+//! stream (a fused block would straddle the trainable parameters it has to
+//! differentiate), so [`crate::gradient`] pins its forward passes to
+//! [`crate::Circuit::run_unfused`] and gradients are bitwise identical
+//! whether fusion is enabled or not.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+use crate::circuit::{Circuit, Op, Wires};
+use crate::gates::{matmul2, Matrix2};
+use crate::state::StateVector;
+
+thread_local! {
+    /// Scoped override installed by [`with_fusion`] (`None` = no override).
+    static OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// The fusion default parsed from `HQNN_FUSE`, read once per process.
+/// `1`/`true`/`on` (case-insensitive) enable it; anything else (or unset)
+/// leaves fusion off.
+fn env_fuse() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("HQNN_FUSE")
+            .map(|raw| matches!(raw.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on"))
+            .unwrap_or(false)
+    })
+}
+
+/// Whether forward circuit execution fuses single-qubit gate runs on the
+/// calling thread, resolved as: [`with_fusion`] override → `HQNN_FUSE` →
+/// off. Batch entry points resolve this **once on the caller** before
+/// fanning rows out, so a scoped override governs the whole batch
+/// regardless of which worker thread runs a row.
+pub fn fusion_enabled() -> bool {
+    OVERRIDE.with(Cell::get).unwrap_or_else(env_fuse)
+}
+
+/// Runs `f` with gate fusion pinned on or off for the calling thread
+/// (nested calls nest; the previous setting is restored afterwards, also on
+/// panic). This is how tests compare fused and scalar execution inside one
+/// process, and how benchmarks force the fused path without touching the
+/// environment.
+pub fn with_fusion<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(enabled))));
+    f()
+}
+
+/// One step of a fused program: either a run of single-qubit ops collapsed
+/// into one matrix apply, or an op passed through unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Segment {
+    /// Indices (into `Circuit::ops`) of ≥ 2 single-qubit ops on `wire`,
+    /// in application order, applied as one product matrix.
+    Run { wire: usize, ops: Vec<usize> },
+    /// An op applied as-is (two-qubit ops and unfusable singletons).
+    Direct(usize),
+}
+
+/// A fusion plan for one circuit: the structural result of collapsing every
+/// maximal run of adjacent single-qubit gates per wire.
+///
+/// "Adjacent" is per-wire program order: a run on wire `w` is broken only by
+/// a two-qubit op touching `w`. Single-qubit ops on *other* wires commute
+/// with the run and do not break it.
+///
+/// # Example
+///
+/// ```
+/// use hqnn_qsim::{Circuit, FusePlan, ParamSource};
+///
+/// let mut c = Circuit::new(2);
+/// c.rz(0, ParamSource::Fixed(0.3));
+/// c.ry(0, ParamSource::Fixed(-0.2));
+/// c.rz(0, ParamSource::Fixed(1.1)); // three gates on wire 0 → one apply
+/// c.cnot(0, 1);
+/// let plan = FusePlan::new(&c);
+/// assert_eq!(plan.fused_ops(), 2); // 4 ops execute as 2 segments
+/// let fused = plan.run(&c, &[], &[]);
+/// assert!(fused.approx_eq(&c.run_unfused(&[], &[]), 1e-12));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusePlan {
+    segments: Vec<Segment>,
+    n_ops: usize,
+}
+
+impl FusePlan {
+    /// Builds the plan for `circuit` with a single linear walk of its ops.
+    pub fn new(circuit: &Circuit) -> Self {
+        let ops = circuit.ops();
+        // Pending run per wire: op indices accumulated since the wire was
+        // last broken by a two-qubit op.
+        let mut pending: Vec<Vec<usize>> = vec![Vec::new(); circuit.n_qubits()];
+        let mut segments = Vec::new();
+        let flush = |pending: &mut Vec<usize>, segments: &mut Vec<Segment>, wire: usize| {
+            match pending.len() {
+                0 => {}
+                1 => segments.push(Segment::Direct(pending[0])),
+                _ => segments.push(Segment::Run {
+                    wire,
+                    ops: std::mem::take(pending),
+                }),
+            }
+            pending.clear();
+        };
+        for (k, op) in ops.iter().enumerate() {
+            match op.wires {
+                Wires::One(w) => pending[w].push(k),
+                Wires::Two(a, b) => {
+                    // Flush the blocked wires in the order their runs
+                    // started, then pass the two-qubit op through.
+                    let (first, second) = if run_start(&pending[a]) <= run_start(&pending[b]) {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
+                    let mut take = std::mem::take(&mut pending[first]);
+                    flush(&mut take, &mut segments, first);
+                    let mut take = std::mem::take(&mut pending[second]);
+                    flush(&mut take, &mut segments, second);
+                    segments.push(Segment::Direct(k));
+                }
+            }
+        }
+        // Flush the tails, ordered by where each wire's run started.
+        let mut tails: Vec<usize> = (0..pending.len())
+            .filter(|&w| !pending[w].is_empty())
+            .collect();
+        tails.sort_unstable_by_key(|&w| run_start(&pending[w]));
+        for w in tails {
+            let mut take = std::mem::take(&mut pending[w]);
+            flush(&mut take, &mut segments, w);
+        }
+        Self {
+            segments,
+            n_ops: ops.len(),
+        }
+    }
+
+    /// Number of kernel applications the fused program performs (≤ op count).
+    pub fn fused_ops(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of gate applications fusion eliminated.
+    pub fn collapsed_ops(&self) -> usize {
+        self.n_ops - self.segments.len()
+    }
+
+    /// Runs `circuit` on `|0…0⟩` through this plan with the given bindings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different circuit (op count
+    /// mismatch), or under the same binding conditions as
+    /// [`Circuit::run_unfused`].
+    pub fn run(&self, circuit: &Circuit, inputs: &[f64], params: &[f64]) -> StateVector {
+        assert_eq!(
+            circuit.ops().len(),
+            self.n_ops,
+            "fuse plan built for a different circuit"
+        );
+        circuit.check_bindings(inputs, params);
+        hqnn_telemetry::counter("qsim.circuit_runs", 1);
+        hqnn_telemetry::counter("qsim.gate_applies", self.segments.len() as u64);
+        hqnn_telemetry::counter("qsim.fuse_collapsed", self.collapsed_ops() as u64);
+        hqnn_telemetry::gauge_max("qsim.statevector_len", (1u64 << circuit.n_qubits()) as f64);
+        let mut state = StateVector::new(circuit.n_qubits());
+        for segment in &self.segments {
+            match segment {
+                Segment::Run { wire, ops } => {
+                    let mut m = resolved_matrix(&circuit.ops()[ops[0]], inputs, params);
+                    for &k in &ops[1..] {
+                        // ψ ← U_k (… U_1 ψ): later gates multiply from the left.
+                        m = matmul2(&resolved_matrix(&circuit.ops()[k], inputs, params), &m);
+                    }
+                    state.apply_single(&m, *wire);
+                }
+                Segment::Direct(k) => {
+                    Circuit::apply_op(&circuit.ops()[*k], &mut state, inputs, params);
+                }
+            }
+        }
+        state
+    }
+}
+
+/// Index of the first op in a pending run (`usize::MAX` when empty), the
+/// deterministic ordering key for flushing runs on different wires.
+fn run_start(pending: &[usize]) -> usize {
+    pending.first().copied().unwrap_or(usize::MAX)
+}
+
+/// The op's 2×2 matrix with its angle resolved from the bindings.
+fn resolved_matrix(op: &Op, inputs: &[f64], params: &[f64]) -> Matrix2 {
+    let theta = if op.kind.is_parametrized() {
+        op.param.resolve(inputs, params)
+    } else {
+        0.0
+    };
+    op.kind.matrix(theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{EntanglerKind, QnnTemplate};
+    use crate::circuit::ParamSource;
+    use crate::observable::Observable;
+
+    #[test]
+    fn fusion_flag_resolution_order() {
+        // Default off (HQNN_FUSE unset in the test environment) unless the
+        // env enables it; the scoped override always wins either way.
+        let ambient = fusion_enabled();
+        assert_eq!(with_fusion(true, fusion_enabled), true);
+        assert_eq!(with_fusion(false, fusion_enabled), false);
+        let nested = with_fusion(true, || with_fusion(false, fusion_enabled));
+        assert_eq!(nested, false);
+        assert_eq!(fusion_enabled(), ambient);
+    }
+
+    #[test]
+    fn with_fusion_restores_on_panic() {
+        let ambient = fusion_enabled();
+        let result = std::panic::catch_unwind(|| with_fusion(!ambient, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(fusion_enabled(), ambient);
+    }
+
+    #[test]
+    fn rot_run_collapses_to_one_apply() {
+        let mut c = Circuit::new(1);
+        c.rx(0, ParamSource::Fixed(0.4));
+        c.rot(
+            0,
+            ParamSource::Fixed(0.1),
+            ParamSource::Fixed(0.2),
+            ParamSource::Fixed(0.3),
+        );
+        let plan = FusePlan::new(&c);
+        assert_eq!(plan.fused_ops(), 1);
+        assert_eq!(plan.collapsed_ops(), 3);
+        let fused = plan.run(&c, &[], &[]);
+        assert!(fused.approx_eq(&c.run_unfused(&[], &[]), 1e-12));
+    }
+
+    #[test]
+    fn two_qubit_ops_break_runs_only_on_their_wires() {
+        let mut c = Circuit::new(3);
+        c.ry(0, ParamSource::Fixed(0.3));
+        c.ry(2, ParamSource::Fixed(0.5));
+        c.cnot(0, 1); // breaks wire 0 (singleton) but not wire 2
+        c.ry(2, ParamSource::Fixed(-0.2));
+        let plan = FusePlan::new(&c);
+        // Direct(ry0), Direct(cnot), Run{wire 2: both ry2} → 3 segments.
+        assert_eq!(plan.fused_ops(), 3);
+        assert_eq!(plan.collapsed_ops(), 1);
+        let fused = plan.run(&c, &[], &[]);
+        assert!(fused.approx_eq(&c.run_unfused(&[], &[]), 1e-12));
+    }
+
+    #[test]
+    fn sel_template_fuses_encoding_into_first_rot() {
+        let t = QnnTemplate::new(3, 2, EntanglerKind::Strong);
+        let c = t.build();
+        let plan = FusePlan::new(&c);
+        // Per wire and layer: encoding RX + RZ·RY·RZ fuse (first layer run
+        // of 4; later layers runs of 3), CNOT rings pass through.
+        assert!(plan.collapsed_ops() > 0, "SEL must fuse");
+        let inputs = [0.2, -0.4, 0.9];
+        let params: Vec<f64> = (0..c.trainable_count()).map(|i| 0.1 * i as f64).collect();
+        let fused = plan.run(&c, &inputs, &params);
+        assert!(fused.approx_eq(&c.run_unfused(&inputs, &params), 1e-12));
+    }
+
+    #[test]
+    fn fused_expectations_match_scalar_within_tolerance() {
+        for kind in [EntanglerKind::Basic, EntanglerKind::Strong] {
+            let c = QnnTemplate::new(4, 3, kind).build();
+            let inputs: Vec<f64> = (0..4).map(|i| 0.3 * i as f64 - 0.5).collect();
+            let params: Vec<f64> = (0..c.trainable_count())
+                .map(|i| (i as f64 * 0.7).sin())
+                .collect();
+            let obs: Vec<Observable> = (0..4).map(Observable::z).collect();
+            let scalar = with_fusion(false, || c.expectations(&inputs, &params, &obs));
+            let fused = with_fusion(true, || c.expectations(&inputs, &params, &obs));
+            for (a, b) in scalar.iter().zip(&fused) {
+                assert!((a - b).abs() < 1e-12, "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_circuit() {
+        let mut a = Circuit::new(1);
+        a.h(0);
+        let plan = FusePlan::new(&a);
+        let mut b = Circuit::new(1);
+        b.h(0);
+        b.x(0);
+        let result = std::panic::catch_unwind(|| plan.run(&b, &[], &[]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_circuit_plan_is_empty() {
+        let c = Circuit::new(2);
+        let plan = FusePlan::new(&c);
+        assert_eq!(plan.fused_ops(), 0);
+        assert_eq!(plan.collapsed_ops(), 0);
+        let s = plan.run(&c, &[], &[]);
+        assert_eq!(s.probability(0), 1.0);
+    }
+}

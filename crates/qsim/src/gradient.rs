@@ -62,7 +62,10 @@ pub fn adjoint(
         d_params: Matrix::zeros(n_obs, circuit.trainable_count()),
         d_inputs: Matrix::zeros(n_obs, circuit.input_count()),
     };
-    let final_state = circuit.run(inputs, params);
+    // The reverse sweep below un-applies the circuit op by op, so the
+    // forward state must come from the same per-op stream: gradients are
+    // bitwise identical whether or not gate fusion is enabled.
+    let final_state = circuit.run_unfused(inputs, params);
 
     for (o, obs) in observables.iter().enumerate() {
         grads.expectations.push(obs.expectation(&final_state));
@@ -125,8 +128,11 @@ pub fn parameter_shift(
     let _span = hqnn_telemetry::span("qsim.parameter_shift");
     hqnn_telemetry::counter("qsim.parameter_shift_passes", 1);
     let n_obs = observables.len();
+    // Unshifted expectations go through the unfused stream, like the shifted
+    // evaluations below — the whole engine ignores the fusion flag.
+    let base_state = circuit.run_unfused(inputs, params);
     let mut grads = Gradients {
-        expectations: circuit.expectations(inputs, params, observables),
+        expectations: observables.iter().map(|o| o.expectation(&base_state)).collect(),
         d_params: Matrix::zeros(n_obs, circuit.trainable_count()),
         d_inputs: Matrix::zeros(n_obs, circuit.input_count()),
     };

@@ -38,6 +38,7 @@ pub mod batch;
 pub mod circuit;
 pub mod complex;
 pub mod density;
+pub mod fuse;
 pub mod gates;
 pub mod gradient;
 pub mod measurement;
@@ -52,6 +53,7 @@ pub use batch::{gradients_batch, GradEngine};
 pub use circuit::{Circuit, Op, ParamSource, Wires};
 pub use complex::C64;
 pub use density::DensityMatrix;
+pub use fuse::{fusion_enabled, with_fusion, FusePlan};
 pub use gates::GateKind;
 pub use gradient::{adjoint, finite_diff, parameter_shift, Gradients};
 pub use noise::{NoiseChannel, NoiseModel};

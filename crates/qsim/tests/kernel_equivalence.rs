@@ -1,0 +1,179 @@
+//! Property tests: the chunked amplitude-pair kernels in `state.rs` are
+//! **bitwise** equal to the scalar reference loops they replaced.
+//!
+//! The rewrite restructured the index walks (`apply_single` into
+//! contiguous half-block sweeps; `apply_controlled` from a scan of the
+//! whole state with a `continue` on control-0 indices to a walk that
+//! enumerates only control-1 pairs) but kept the per-pair arithmetic as
+//! the exact expression `m·(a, b)ᵀ`. Same pairs, same expressions → the
+//! outputs must match to the bit, which is what pins the workspace-wide
+//! determinism contract through the kernel swap. The reference
+//! implementations below are verbatim copies of the pre-rewrite loops.
+
+use hqnn_qsim::{C64, StateVector};
+use proptest::prelude::*;
+
+type Matrix2 = [[C64; 2]; 2];
+
+/// Pre-rewrite `apply_single`: per-block index loop with per-iteration
+/// bounds checks.
+fn reference_apply_single(amps: &mut [C64], m: &Matrix2, target: usize) {
+    let stride = 1usize << target;
+    let len = amps.len();
+    let mut base = 0;
+    while base < len {
+        for i in base..base + stride {
+            let a = amps[i];
+            let b = amps[i + stride];
+            amps[i] = m[0][0] * a + m[0][1] * b;
+            amps[i + stride] = m[1][0] * a + m[1][1] * b;
+        }
+        base += stride << 1;
+    }
+}
+
+/// Pre-rewrite `apply_controlled`: scans every target-0 index and skips the
+/// control-0 half with `continue`.
+fn reference_apply_controlled(amps: &mut [C64], m: &Matrix2, control: usize, target: usize) {
+    let t_stride = 1usize << target;
+    let c_mask = 1usize << control;
+    let len = amps.len();
+    let mut base = 0;
+    while base < len {
+        for i in base..base + t_stride {
+            if i & c_mask == 0 {
+                continue;
+            }
+            let a = amps[i];
+            let b = amps[i + t_stride];
+            amps[i] = m[0][0] * a + m[0][1] * b;
+            amps[i + t_stride] = m[1][0] * a + m[1][1] * b;
+        }
+        base += t_stride << 1;
+    }
+}
+
+/// Pre-rewrite `apply_controlled_projected`: same scan, zeroing the
+/// control-0 subspace instead of skipping it.
+fn reference_apply_controlled_projected(
+    amps: &mut [C64],
+    m: &Matrix2,
+    control: usize,
+    target: usize,
+) {
+    let t_stride = 1usize << target;
+    let c_mask = 1usize << control;
+    let len = amps.len();
+    let mut base = 0;
+    while base < len {
+        for i in base..base + t_stride {
+            if i & c_mask == 0 {
+                amps[i] = C64::ZERO;
+                amps[i + t_stride] = C64::ZERO;
+                continue;
+            }
+            let a = amps[i];
+            let b = amps[i + t_stride];
+            amps[i] = m[0][0] * a + m[0][1] * b;
+            amps[i + t_stride] = m[1][0] * a + m[1][1] * b;
+        }
+        base += t_stride << 1;
+    }
+}
+
+/// A random normalised state on `n` qubits. Normalisation divides every
+/// component by the same norm, so both the kernel and the reference see
+/// identical input bits.
+fn state(n: usize) -> impl Strategy<Value = Vec<C64>> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1 << n).prop_map(|pairs| {
+        let norm_sqr: f64 = pairs.iter().map(|(re, im)| re * re + im * im).sum();
+        if norm_sqr < 1e-9 {
+            // Degenerate draw (shrinking drives everything to 0): fall back
+            // to the basis state instead of dividing by ~0.
+            let mut amps = vec![C64::ZERO; pairs.len()];
+            amps[0] = C64::ONE;
+            return amps;
+        }
+        let scale = norm_sqr.sqrt().recip();
+        pairs
+            .into_iter()
+            .map(|(re, im)| C64::new(re * scale, im * scale))
+            .collect()
+    })
+}
+
+/// An arbitrary (not necessarily unitary) 2×2 complex matrix — the kernels
+/// never assume unitarity, and the adjoint pass feeds them non-unitary
+/// `dU/dθ` matrices.
+fn matrix() -> impl Strategy<Value = Matrix2> {
+    proptest::collection::vec((-1.5f64..1.5, -1.5f64..1.5), 4).prop_map(|e| {
+        [
+            [C64::new(e[0].0, e[0].1), C64::new(e[1].0, e[1].1)],
+            [C64::new(e[2].0, e[2].1), C64::new(e[3].0, e[3].1)],
+        ]
+    })
+}
+
+/// A random state plus one wire on it.
+fn state_and_wire() -> impl Strategy<Value = (Vec<C64>, usize)> {
+    (1usize..=10).prop_flat_map(|n| (state(n), 0..n))
+}
+
+/// A random state plus two distinct wires on it. Up to 10 qubits so wire
+/// strides cross the controlled kernel's flat-walk/nested-walk threshold
+/// and both enumeration shapes get exercised.
+fn state_and_wire_pair() -> impl Strategy<Value = (Vec<C64>, usize, usize)> {
+    (2usize..=10).prop_flat_map(|n| {
+        (state(n), 0..n, 0..n - 1).prop_map(|(amps, a, b)| {
+            // Map b away from a so the pair is always distinct.
+            let b = if b >= a { b + 1 } else { b };
+            (amps, a, b)
+        })
+    })
+}
+
+fn bits(amps: &[C64]) -> Vec<(u64, u64)> {
+    amps.iter()
+        .map(|a| (a.re.to_bits(), a.im.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apply_single_bitwise_matches_reference(
+        (amps, target) in state_and_wire(),
+        m in matrix(),
+    ) {
+        let mut reference = amps.clone();
+        reference_apply_single(&mut reference, &m, target);
+        let mut sv = StateVector::from_amplitudes(amps);
+        sv.apply_single(&m, target);
+        prop_assert_eq!(bits(sv.amplitudes()), bits(&reference));
+    }
+
+    #[test]
+    fn apply_controlled_bitwise_matches_reference(
+        (amps, control, target) in state_and_wire_pair(),
+        m in matrix(),
+    ) {
+        let mut reference = amps.clone();
+        reference_apply_controlled(&mut reference, &m, control, target);
+        let mut sv = StateVector::from_amplitudes(amps);
+        sv.apply_controlled(&m, control, target);
+        prop_assert_eq!(bits(sv.amplitudes()), bits(&reference));
+    }
+
+    #[test]
+    fn apply_controlled_projected_bitwise_matches_reference(
+        (amps, control, target) in state_and_wire_pair(),
+        m in matrix(),
+    ) {
+        let mut reference = amps.clone();
+        reference_apply_controlled_projected(&mut reference, &m, control, target);
+        let mut sv = StateVector::from_amplitudes(amps);
+        sv.apply_controlled_projected(&m, control, target);
+        prop_assert_eq!(bits(sv.amplitudes()), bits(&reference));
+    }
+}

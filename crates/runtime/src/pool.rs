@@ -116,6 +116,25 @@ mod tests {
     }
 
     #[test]
+    fn empty_inputs_under_thread_overrides() {
+        // Zero items must never spawn workers or call the closure, whatever
+        // the configured budget — including budgets larger than the host.
+        for threads in [1, 2, 7, 64] {
+            let calls = AtomicUsize::new(0);
+            let got: Vec<usize> = with_threads(threads, || {
+                par_map_range(0, |i| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    i
+                })
+            });
+            assert!(got.is_empty(), "threads={threads}");
+            assert_eq!(calls.load(Ordering::Relaxed), 0, "threads={threads}");
+            let empty: Vec<u8> = with_threads(threads, || par_map(&[] as &[u8], |_, b| *b));
+            assert!(empty.is_empty(), "threads={threads}");
+        }
+    }
+
+    #[test]
     fn par_map_passes_index_and_item() {
         let items = ["a", "bb", "ccc"];
         let got = with_threads(2, || par_map(&items, |i, s| (i, s.len())));

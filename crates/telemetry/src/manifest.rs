@@ -32,6 +32,12 @@ pub struct RunManifest {
     /// available to the process. Published numbers are only comparable
     /// between runs with equal `threads`.
     pub threads: usize,
+    /// Whether the run's environment enabled the qsim gate-fusion path
+    /// (`HQNN_FUSE=1`/`true`/`on`). Fused and unfused runs agree only to
+    /// rounding, so published numbers are comparable only between runs with
+    /// equal `fuse`. Defaults to `false` when absent (pre-fusion manifests).
+    #[serde(default)]
+    pub fuse: bool,
     /// FNV-1a hash of the run's configuration JSON (`"-"` when not set).
     pub config_hash: String,
     /// Seconds since the Unix epoch at capture time.
@@ -58,6 +64,7 @@ impl RunManifest {
             host_arch: std::env::consts::ARCH.to_string(),
             hostname: hostname(),
             threads: configured_threads(),
+            fuse: configured_fuse(),
             config_hash: "-".to_string(),
             timestamp_unix: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
@@ -85,6 +92,7 @@ impl RunManifest {
             ("host_arch", self.host_arch.clone().into()),
             ("hostname", self.hostname.clone().into()),
             ("threads", self.threads.into()),
+            ("fuse", self.fuse.into()),
             ("config_hash", self.config_hash.clone().into()),
             ("timestamp_unix", self.timestamp_unix.into()),
         ]
@@ -102,6 +110,17 @@ pub fn config_hash<T: Serialize + ?Sized>(config: &T) -> String {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     format!("{hash:016x}")
+}
+
+/// Whether the environment enables qsim's gate-fusion path. Mirrors
+/// `hqnn-qsim`'s `HQNN_FUSE` parsing without depending on it (same
+/// layering rationale as [`configured_threads`]); scoped `with_fusion`
+/// overrides are per-thread test/bench tooling and intentionally not
+/// reflected here.
+fn configured_fuse() -> bool {
+    std::env::var("HQNN_FUSE")
+        .map(|raw| matches!(raw.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on"))
+        .unwrap_or(false)
 }
 
 /// Thread count the run executes with. Mirrors `hqnn-runtime`'s resolution
@@ -177,8 +196,28 @@ mod tests {
         let m = RunManifest::capture("f");
         let fields = m.fields();
         let names: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
-        for key in ["git_sha", "profile", "threads", "config_hash"] {
+        for key in ["git_sha", "profile", "threads", "fuse", "config_hash"] {
             assert!(names.contains(&key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn pre_fusion_manifests_parse_with_fuse_false() {
+        // Baselines written before the `fuse` field existed must keep
+        // loading — absent means the run could not have fused.
+        let json = r#"{
+            "git_sha": "abc123",
+            "git_dirty": false,
+            "profile": "perfbench-full",
+            "cargo_profile": "release",
+            "host_os": "linux",
+            "host_arch": "x86_64",
+            "hostname": "vm",
+            "threads": 1,
+            "config_hash": "-",
+            "timestamp_unix": 1700000000
+        }"#;
+        let m: RunManifest = serde_json::from_str(json).expect("parse");
+        assert!(!m.fuse);
     }
 }

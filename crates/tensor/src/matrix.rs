@@ -210,9 +210,11 @@ impl Matrix {
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
-    /// Iterator over rows as slices.
+    /// Iterator over rows as slices — always yields exactly `rows` items,
+    /// including `rows` empty slices for a zero-column matrix (where
+    /// `chunks` on the empty backing store would yield nothing).
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks(self.cols.max(1))
+        (0..self.rows).map(move |r| &self.data[r * self.cols..(r + 1) * self.cols])
     }
 
     /// Matrix transpose.
@@ -589,6 +591,36 @@ mod tests {
         let m = sample();
         assert_eq!(m.matmul(&Matrix::identity(3)), m);
         assert_eq!(Matrix::identity(2).matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_zero_dimension_operands() {
+        // 0-row left operand: (0×3)·(3×2) = (0×2).
+        let right = Matrix::zeros(3, 2);
+        let out = Matrix::zeros(0, 3).matmul(&right);
+        assert_eq!(out.shape(), (0, 2));
+        assert!(out.is_empty());
+        // 0-col right operand: (2×3)·(3×0) = (2×0).
+        let out = sample().matmul(&Matrix::zeros(3, 0));
+        assert_eq!(out.shape(), (2, 0));
+        // 0 inner dimension: (2×0)·(0×4) = the 2×4 zero matrix.
+        let out = Matrix::zeros(2, 0).matmul(&Matrix::zeros(0, 4));
+        assert_eq!(out, Matrix::zeros(2, 4));
+        // Same answers when the runtime would otherwise parallelise.
+        hqnn_runtime::with_threads(4, || {
+            let out = Matrix::zeros(0, 3).matmul(&Matrix::zeros(3, 7));
+            assert_eq!(out.shape(), (0, 7));
+        });
+    }
+
+    #[test]
+    fn iter_rows_yields_every_row_even_with_zero_cols() {
+        assert_eq!(sample().iter_rows().count(), 2);
+        let wide_empty = Matrix::zeros(3, 0);
+        let rows: Vec<&[f64]> = wide_empty.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.is_empty()));
+        assert_eq!(Matrix::zeros(0, 5).iter_rows().count(), 0);
     }
 
     #[test]

@@ -125,6 +125,21 @@ pub fn field<T: Deserialize>(
     }
 }
 
+/// Like [`field`], but a missing key yields `T::default()` — the accessor
+/// behind `#[serde(default)]`, used when a struct grows a field whose type
+/// has no null form (e.g. `bool`) and old serialized data must keep parsing.
+pub fn field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v)
+            .map_err(|e| DeError(format!("in field `{ty}.{name}`: {}", e.0))),
+        None => Ok(T::default()),
+    }
+}
+
 /// Decodes an externally-tagged enum: either a bare string (unit variant) or
 /// a single-entry map `{variant: payload}`. Returns `(variant, payload)`,
 /// with `Content::Null` standing in for a missing payload.

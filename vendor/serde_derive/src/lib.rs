@@ -7,15 +7,21 @@
 //! raw `TokenStream` by hand — only field *names* and variant *arities* are
 //! needed, never types, because the generated code lets inference pick the
 //! right `from_content` at each position.
+//!
+//! One field attribute is honoured: `#[serde(default)]` makes a missing key
+//! fall back to `Default::default()` on deserialize (via
+//! `::serde::field_or_default`), so structs can grow required-looking fields
+//! without invalidating previously written JSON. Any other `#[serde(...)]`
+//! content is a compile error rather than a silent no-op.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Deserialize)
 }
@@ -26,9 +32,16 @@ enum Mode {
     Deserialize,
 }
 
+/// A named struct/variant field: its name and whether `#[serde(default)]`
+/// lets it fall back to `Default::default()` when the key is absent.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum Shape {
     /// `struct S { a, b }`
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     /// `struct S(T, U);` — arity only.
     TupleStruct(usize),
     /// `struct S;`
@@ -40,7 +53,7 @@ enum Shape {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn expand(input: TokenStream, mode: Mode) -> TokenStream {
@@ -125,14 +138,59 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
+/// Whether an attribute group (the `[...]` tokens after `#`) is a
+/// `serde(...)` helper, and if so, whether it is exactly `serde(default)`.
+/// Anything else inside `serde(...)` is unsupported and must not be silently
+/// ignored.
+fn parse_serde_attr(group: &proc_macro::Group) -> Result<Option<bool>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            match (args.len(), args.first()) {
+                (1, Some(TokenTree::Ident(id))) if id.to_string() == "default" => Ok(Some(true)),
+                _ => Err("serde_derive stub: only `#[serde(default)]` is supported".into()),
+            }
+        }
+        _ => Err("serde_derive stub: malformed `#[serde(...)]` attribute".into()),
+    }
+}
+
 /// Field names from `{ a: T, b: U }` — types are skipped with angle-bracket
 /// depth tracking so `Vec<(usize, Pauli)>` style nesting parses correctly.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// `#[serde(default)]` on a field is recorded; other attributes are skipped.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let mut default = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if parse_serde_attr(g)? == Some(true) {
+                            default = true;
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(
+                        tokens.get(i),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
@@ -158,7 +216,10 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
     }
     Ok(fields)
 }
@@ -232,6 +293,7 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))"
                     )
@@ -271,8 +333,9 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                         )
                     }
                     VariantShape::Named(fields) => {
-                        let binds = fields.join(", ");
-                        let entries: Vec<String> = fields
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds = names.join(", ");
+                        let entries: Vec<String> = names
                             .iter()
                             .map(|f| {
                                 format!("({f:?}.to_string(), ::serde::Serialize::to_content({f}))")
@@ -296,12 +359,24 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
     )
 }
 
+/// Which `::serde` accessor the deserializer uses for a named field.
+fn field_getter(f: &Field) -> &'static str {
+    if f.default {
+        "field_or_default"
+    } else {
+        "field"
+    }
+}
+
 fn gen_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::NamedStruct(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::field(__m, {f:?}, {name:?})?"))
+                .map(|f| {
+                    let (name_f, getter) = (&f.name, field_getter(f));
+                    format!("{name_f}: ::serde::{getter}(__m, {name_f:?}, {name:?})?")
+                })
                 .collect();
             format!(
                 "let __m = __c.as_map({name:?})?;\nOk({name} {{ {} }})",
@@ -348,7 +423,8 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                             let inits: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
-                                    format!("{f}: ::serde::field(__m, {f:?}, {label:?})?")
+                                    let (name_f, getter) = (&f.name, field_getter(f));
+                                    format!("{name_f}: ::serde::{getter}(__m, {name_f:?}, {label:?})?")
                                 })
                                 .collect();
                             format!(
