@@ -3,7 +3,7 @@
 CARGO ?= cargo
 PROFILE_DIR ?= experiment-results
 
-.PHONY: build test repro profile smoke bench bench-check bench-smoke bench-baseline fmt clippy clean
+.PHONY: build test repro profile smoke bench bench-check bench-smoke bench-baseline lint fmt clippy clean
 
 build:
 	$(CARGO) build --release --workspace
@@ -44,6 +44,14 @@ bench-smoke:
 # Rewrite bench/baseline.json from a fresh full-scale run on this machine.
 bench-baseline:
 	$(CARGO) run -p hqnn-perfbench --release --bin perfbench -- --update-baseline
+
+# Static analysis gate: the workspace invariant linter (determinism, panic
+# hygiene, env registry, span naming — see `hqnn-lint --list-rules`), the
+# circuit-IR verifier smoke tests, and clippy with warnings denied.
+lint:
+	$(CARGO) run -q -p hqnn-lint --bin hqnn-lint
+	$(CARGO) test -q -p hqnn-qsim --test circuit_verify
+	$(CARGO) clippy --workspace --all-targets -q -- -D warnings
 
 fmt:
 	$(CARGO) fmt --all

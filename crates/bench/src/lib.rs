@@ -162,7 +162,7 @@ impl Cli {
     fn init_telemetry(&self) {
         if self.quiet {
             telemetry::set_level(telemetry::Level::Off);
-        } else if std::env::var_os("HQNN_LOG").is_none() {
+        } else if !telemetry::env::is_set("HQNN_LOG") {
             telemetry::set_level(telemetry::Level::Info);
         }
         if let Some(path) = &self.log_json {

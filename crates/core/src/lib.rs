@@ -43,6 +43,15 @@ pub use noisy_layer::NoisyQuantumLayer;
 pub use persist::SavedModel;
 pub use quantum_layer::{GradientMethod, QuantumLayer};
 
+/// The central `HQNN_*` environment-variable registry and parsers.
+///
+/// Hosted by `hqnn-telemetry` (the root of the workspace dependency graph,
+/// so every crate can read through it) and re-exported here as the
+/// user-facing entry point: `hqnn_core::env::REGISTRY` lists every variable
+/// the workspace understands, and unknown `HQNN_*` names in the process
+/// environment trigger a one-time `env.unknown_var` warning.
+pub use hqnn_telemetry::env;
+
 /// One-stop imports for applications using the workspace.
 pub mod prelude {
     pub use crate::{

@@ -147,6 +147,7 @@ impl Layer for QuantumLayer {
         let input = self
             .cached_input
             .as_ref()
+            // lint:allow(panic): documented Layer API contract
             .expect("backward called before forward");
         let n = self.template.n_qubits();
         assert_eq!(

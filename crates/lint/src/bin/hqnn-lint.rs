@@ -1,0 +1,77 @@
+//! `hqnn-lint` CLI: lints the workspace and exits non-zero on findings.
+//!
+//! Usage:
+//!   hqnn-lint [--root <dir>] [--json] [--list-rules]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hqnn_lint::{lint_workspace, RULES};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{:<14} {}", rule.name, rule.summary);
+                    println!("{:<14} why: {}", "", rule.rationale);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("hqnn-lint: workspace invariant linter");
+                println!("  --root <dir>   workspace root (default: .)");
+                println!("  --json         machine-readable output");
+                println!("  --list-rules   print the rule table and exit");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Convenience: when invoked from a crate directory, walk up to the
+    // workspace root so `cargo run -p hqnn-lint` works from anywhere.
+    if !root.join("crates").is_dir() {
+        let mut cur = root.canonicalize().unwrap_or(root.clone());
+        while !cur.join("crates").is_dir() {
+            let Some(parent) = cur.parent() else { break };
+            cur = parent.to_path_buf();
+        }
+        if cur.join("crates").is_dir() {
+            root = cur;
+        }
+    }
+
+    match lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("hqnn-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

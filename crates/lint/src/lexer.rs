@@ -1,0 +1,663 @@
+//! A lightweight Rust lexer: just enough token structure for invariant
+//! linting.
+//!
+//! The goal is **not** a conforming Rust tokenizer — it is to classify
+//! source bytes well enough that rule checks never fire inside comments or
+//! string literals, see identifiers and string contents verbatim, and know
+//! which tokens live in test-only code. Three things matter:
+//!
+//! * comments (line, nested block) are consumed, and `lint:allow(<rules>)`
+//!   annotations inside them are recorded with the code line they govern;
+//! * string/char literals (including raw, byte, and C strings) are consumed
+//!   as single tokens so their contents never look like code;
+//! * `#[cfg(test)]` / `#[test]` items are marked so rules can exempt test
+//!   code without a parser.
+
+/// Token classification — exactly the distinctions the rules need.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (text carries the contents, quotes stripped).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal (including suffix).
+    Number,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation byte (`{`, `!`, `.`, …).
+    Punct,
+}
+
+/// One token with its source line (1-based) and test-code flag.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (string contents for [`TokKind::Str`], quotes stripped).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// `true` when the token sits inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// `true` for a punct token with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// `true` for an ident token with exactly this text.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// One `lint:allow(<rules>)` annotation and the code line it suppresses.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Rule names listed in the annotation.
+    pub rules: Vec<String>,
+    /// The code line this annotation governs: the comment's own line for a
+    /// trailing comment, or the next code line for a standalone comment
+    /// (blank lines and further comments in between are fine). `0` when the
+    /// annotation governs nothing (e.g. trailing comment at EOF).
+    pub applies_to: u32,
+}
+
+/// The lexed view of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All `lint:allow` annotations found in comments.
+    pub allows: Vec<Allow>,
+}
+
+impl Lexed {
+    /// `true` when `rule` is allowed on `line` (or anywhere in the file,
+    /// for file-scoped rules passing `line == 0`).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.rules.iter().any(|r| r == rule) && (line == 0 || a.applies_to == line)
+        })
+    }
+}
+
+/// Lexes `source`, recording tokens, allow-annotations, and test regions.
+pub fn lex(source: &str) -> Lexed {
+    let b = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut line_has_code = false;
+    let mut tokens: Vec<Tok> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    // Standalone allow-comments waiting for the next code line.
+    let mut pending: Vec<usize> = Vec::new();
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr) => {{
+            for &p in &pending {
+                allows[p].applies_to = $line;
+            }
+            pending.clear();
+            line_has_code = true;
+            tokens.push(Tok {
+                kind: $kind,
+                text: $text,
+                line: $line,
+                in_test: false,
+            });
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Newline / whitespace.
+        if c == b'\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let standalone = !line_has_code;
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            record_allows(&source[start..i], line, standalone, &mut allows, &mut pending);
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let standalone = !line_has_code;
+            let start = i;
+            let start_line = line;
+            i += 2;
+            let mut depth = 1;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            record_allows(&source[start..i], start_line, standalone, &mut allows, &mut pending);
+            continue;
+        }
+        // String-ish literals, possibly prefixed: "…", r"…", r#"…"#, b"…",
+        // br#"…"#, c"…", b'x'. Raw identifiers (r#ident) fall through to
+        // the ident path.
+        if c == b'"' {
+            let (text, nl) = scan_string(b, &mut i, source);
+            push_tok!(TokKind::Str, text, line);
+            line += nl;
+            continue;
+        }
+        if (c == b'r' || c == b'b' || c == b'c') && i + 1 < b.len() {
+            if let Some((text, nl, is_char)) = scan_prefixed_literal(b, &mut i, source) {
+                push_tok!(
+                    if is_char { TokKind::Char } else { TokKind::Str },
+                    text,
+                    line
+                );
+                line += nl;
+                continue;
+            }
+            // Not a literal — fall through to identifier below.
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if is_char_literal(b, i) {
+                let start = i;
+                i += 1; // opening quote
+                if i < b.len() && b[i] == b'\\' {
+                    i += 2; // escape introducer + escaped byte
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1; // \u{…} and friends
+                    }
+                } else {
+                    // One (possibly multi-byte) character.
+                    i += 1;
+                    while i < b.len() && b[i] & 0xC0 == 0x80 {
+                        i += 1;
+                    }
+                }
+                if i < b.len() {
+                    i += 1; // closing quote
+                }
+                push_tok!(TokKind::Char, source[start..i].to_string(), line);
+            } else {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                push_tok!(TokKind::Lifetime, source[start..i].to_string(), line);
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let start = i;
+            // Raw identifier prefix r# was not consumed as a literal above.
+            if (c == b'r' || c == b'b') && i + 1 < b.len() && b[i + 1] == b'#' {
+                i += 2;
+            }
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            let text = source[start..i].trim_start_matches("r#").trim_start_matches("b#");
+            push_tok!(TokKind::Ident, text.to_string(), line);
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len()
+                && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
+            {
+                i += 1;
+            }
+            // Fractional part only when followed by a digit ("0..n" stays
+            // a range).
+            if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            // Signed exponent ("1e-6"): the alnum sweep stops at '-'/'+'.
+            if i + 1 < b.len()
+                && (b[i] == b'-' || b[i] == b'+')
+                && (b[i - 1] == b'e' || b[i - 1] == b'E')
+                && b[i + 1].is_ascii_digit()
+            {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            push_tok!(TokKind::Number, source[start..i].to_string(), line);
+            continue;
+        }
+        // Everything else: single punctuation byte.
+        push_tok!(TokKind::Punct, (c as char).to_string(), line);
+        i += 1;
+    }
+
+    let mut lexed = Lexed { tokens, allows };
+    mark_test_regions(&mut lexed.tokens);
+    lexed
+}
+
+/// Consumes a plain `"…"` string starting at `i` (which points at the
+/// opening quote). Returns the contents and the number of newlines crossed.
+fn scan_string(b: &[u8], i: &mut usize, source: &str) -> (String, u32) {
+    let mut nl = 0u32;
+    *i += 1; // opening quote
+    let start = *i;
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'"' => break,
+            b'\n' => {
+                nl += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+    let end = (*i).min(b.len());
+    if *i < b.len() {
+        *i += 1; // closing quote
+    }
+    (source[start..end].to_string(), nl)
+}
+
+/// Tries to consume a prefixed literal at `i` (`r"`, `r#"`, `b"`, `br"`,
+/// `br#"`, `b'`, `c"`). Returns `(contents, newlines, is_char)` on success,
+/// `None` when the bytes are an identifier (including raw idents `r#foo`).
+fn scan_prefixed_literal(b: &[u8], i: &mut usize, source: &str) -> Option<(String, u32, bool)> {
+    let mut j = *i;
+    let mut raw = false;
+    match b[j] {
+        b'r' => {
+            raw = true;
+            j += 1;
+        }
+        b'b' | b'c' => {
+            j += 1;
+            if j < b.len() && b[j] == b'r' {
+                raw = true;
+                j += 1;
+            } else if j < b.len() && b[j] == b'\'' {
+                // Byte char literal b'x'.
+                let start = j + 1;
+                let mut k = start;
+                if k < b.len() && b[k] == b'\\' {
+                    k += 2;
+                    while k < b.len() && b[k] != b'\'' {
+                        k += 1;
+                    }
+                } else if k < b.len() {
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'\'' {
+                    *i = k + 1;
+                    return Some((source[start..k].to_string(), 0, true));
+                }
+                return None;
+            }
+        }
+        _ => return None,
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= b.len() || b[j] != b'"' {
+            return None; // r#ident or bare ident
+        }
+        j += 1;
+        let start = j;
+        let mut nl = 0u32;
+        // Scan for `"` followed by `hashes` hashes.
+        while j < b.len() {
+            if b[j] == b'\n' {
+                nl += 1;
+            }
+            if b[j] == b'"' && b[j + 1..].iter().take(hashes).filter(|&&h| h == b'#').count() == hashes
+            {
+                let contents = source[start..j].to_string();
+                *i = j + 1 + hashes;
+                return Some((contents, nl, false));
+            }
+            j += 1;
+        }
+        *i = b.len();
+        return Some((source[start..].to_string(), nl, false));
+    }
+    // Non-raw prefixed string: b"…" / c"…".
+    if j < b.len() && b[j] == b'"' {
+        let mut k = j;
+        let (text, nl) = scan_string(b, &mut k, source);
+        *i = k;
+        return Some((text, nl, false));
+    }
+    None
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // 'X' where X is one char: closing quote two bytes ahead (or after a
+    // multi-byte char).
+    let mut j = i + 2;
+    while j < b.len() && b[j] & 0xC0 == 0x80 {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'\''
+}
+
+/// Extracts every `lint:allow(rule, rule2)` annotation from a comment.
+fn record_allows(
+    comment: &str,
+    line: u32,
+    standalone: bool,
+    allows: &mut Vec<Allow>,
+    pending: &mut Vec<usize>,
+) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        rest = &rest[close + 1..];
+        if rules.is_empty() {
+            continue;
+        }
+        let idx = allows.len();
+        allows.push(Allow {
+            rules,
+            applies_to: if standalone { 0 } else { line },
+        });
+        if standalone {
+            pending.push(idx);
+        }
+    }
+}
+
+/// Marks tokens inside `#[cfg(test)]` / `#[test]` items (and the attributes
+/// themselves) as test code.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = scan_attribute(toks, i + 1);
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Swallow any further attributes stacked on the same item.
+        let mut j = attr_end + 1;
+        while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+            let (end, _) = scan_attribute(toks, j + 1);
+            j = end + 1;
+        }
+        let item_end = skip_item(toks, j);
+        for tok in toks.iter_mut().take(item_end + 1).skip(i) {
+            tok.in_test = true;
+        }
+        i = item_end + 1;
+    }
+}
+
+/// Scans an attribute starting at its `[` token; returns the index of the
+/// matching `]` and whether the attribute marks test-only code.
+fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct("[") {
+            depth += 1;
+        } else if toks[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if toks[j].is_ident("test") {
+            has_test = true;
+        } else if toks[j].is_ident("not") {
+            has_not = true;
+        }
+        j += 1;
+    }
+    (j.min(toks.len() - 1), has_test && !has_not)
+}
+
+/// From the first token of an item (after its attributes), returns the index
+/// of the item's last token: the matching `}` of its body, or the `;` that
+/// ends a body-less item.
+fn skip_item(toks: &[Tok], start: usize) -> usize {
+    let mut depth_paren = 0i32;
+    let mut depth_bracket = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") {
+            depth_paren += 1;
+        } else if t.is_punct(")") {
+            depth_paren -= 1;
+        } else if t.is_punct("[") {
+            depth_bracket += 1;
+        } else if t.is_punct("]") {
+            depth_bracket -= 1;
+        } else if t.is_punct(";") && depth_paren == 0 && depth_bracket == 0 {
+            return j;
+        } else if t.is_punct("{") && depth_paren == 0 && depth_bracket == 0 {
+            // Body found: skip the balanced brace block.
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct("{") {
+                    depth += 1;
+                } else if toks[j].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                j += 1;
+            }
+            return toks.len() - 1;
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"SystemTime"#;
+            let real = HashMap::new();
+        "##;
+        let lexed = lex(src);
+        let ids = idents(&lexed);
+        assert_eq!(ids.iter().filter(|&&i| i == "HashMap").count(), 1);
+        assert!(!ids.contains(&"Instant"));
+        assert!(!ids.contains(&"SystemTime"));
+        // String contents are preserved on Str tokens.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "HashMap::new()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+        let escaped = lex(r"let c = '\n'; let q = '\'';");
+        assert_eq!(
+            escaped
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let lexed = lex("for i in 0..10 { let x = 1.5e-3f64; }");
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3f64"]);
+    }
+
+    #[test]
+    fn allow_annotations_bind_to_code_lines() {
+        let src = "\
+let a = x.unwrap(); // lint:allow(panic): trailing
+// lint:allow(panic): standalone, with a gap
+
+let b = y.unwrap();
+";
+        let lexed = lex(src);
+        assert!(lexed.allowed("panic", 1), "trailing comment governs line 1");
+        assert!(lexed.allowed("panic", 4), "standalone governs next code line");
+        assert!(!lexed.allowed("panic", 2));
+        assert!(!lexed.allowed("other-rule", 1));
+    }
+
+    #[test]
+    fn multi_rule_allow_and_file_scope() {
+        let lexed = lex("// lint:allow(hash-iter, wall-clock): both\nuse foo;\n");
+        assert!(lexed.allowed("hash-iter", 2));
+        assert!(lexed.allowed("wall-clock", 2));
+        assert!(lexed.allowed("hash-iter", 0), "file-scope query matches anywhere");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = r#"
+fn library() { real(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { test_only(); }
+}
+
+fn also_library() {}
+"#;
+        let lexed = lex(src);
+        let find = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .find(|t| t.is_ident(name))
+                .unwrap_or_else(|| panic!("{name} not found"))
+        };
+        assert!(!find("real").in_test);
+        assert!(find("test_only").in_test);
+        assert!(!find("also_library").in_test);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_marked() {
+        let src = "
+#[test]
+fn unit() { helper(); }
+fn lib() { body(); }
+";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().find(|t| t.is_ident("helper")).unwrap().in_test);
+        assert!(!lexed.tokens.iter().find(|t| t.is_ident("body")).unwrap().in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn prod() { live(); }\n";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().find(|t| t.is_ident("live")).unwrap().in_test);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let lexed = lex("let r#type = 1; let b = r#fn;");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("type")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let lexed = lex(r#"let a = b"bytes"; let c = c"cstr"; let bc = b'x';"#);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["bytes", "cstr"]);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Char && t.text == "x"));
+    }
+}

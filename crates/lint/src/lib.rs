@@ -1,0 +1,39 @@
+//! # hqnn-lint — workspace invariant linter
+//!
+//! Token-level static analysis over every crate in this workspace,
+//! enforcing the project's three hard invariants:
+//!
+//! 1. **Determinism** — numeric crates (tensor, qsim, nn, search, autodiff)
+//!    must produce bitwise-identical results across runs and thread counts.
+//!    Unordered collections (`hash-iter`), wall-clock reads (`wall-clock`),
+//!    and thread-identity branching (`thread-id`) are banned there.
+//! 2. **Panic hygiene** — library code surfaces errors as `Result`; every
+//!    deliberate panic carries a justification (`panic`).
+//! 3. **Hygiene audit** — every crate root forbids unsafe code
+//!    (`forbid-unsafe`), every `HQNN_*` env var is in the central registry
+//!    (`env-registry`), and telemetry names follow `crate.noun_verb`
+//!    (`span-naming`).
+//!
+//! Rules are **deny-by-default**: a violation fails the build unless the
+//! line carries an inline escape with a reason:
+//!
+//! ```text
+//! let v = cell.get().unwrap(); // lint:allow(panic): set() precedes every get()
+//! ```
+//!
+//! The linter is deliberately dependency-free and token-based rather than
+//! AST-based: it must keep building (and gating CI) even when the rest of
+//! the workspace — or the toolchain's proc-macro pipeline — is broken.
+//!
+//! Run it with `cargo run -p hqnn-lint` (or `make lint`); pass `--json` for
+//! machine-readable output and `--list-rules` for the rule table.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_file, lint_workspace, load_registry, Report};
+pub use lexer::{lex, Lexed, Tok, TokKind};
+pub use rules::{Finding, Rule, NUMERIC_CRATES, RULES, WALLCLOCK_CRATES};

@@ -1,0 +1,512 @@
+//! The rule set: each rule is a pure function over a lexed file plus its
+//! workspace context (crate name, path, whether it is binary code).
+//!
+//! Rules are deny-by-default: a finding is an error unless the offending
+//! line carries a `// lint:allow(<rule>): <reason>` annotation. Adding a
+//! rule means adding a `Rule` entry to [`RULES`] and a check arm in
+//! [`check_file`] — the fixture tests in `tests/fixtures_detect.rs` will
+//! refuse to pass until the new rule has a violation/allowed fixture pair.
+
+use crate::lexer::{Lexed, TokKind};
+
+/// Crates whose numeric results must be bitwise deterministic: unordered
+/// iteration (HashMap/HashSet) is banned there.
+pub const NUMERIC_CRATES: &[&str] = &["tensor", "qsim", "nn", "search", "autodiff"];
+
+/// Crates allowed to read wall-clock time.
+pub const WALLCLOCK_CRATES: &[&str] = &["telemetry", "perfbench"];
+
+/// Crates allowed to branch on thread identity.
+pub const THREAD_ID_CRATES: &[&str] = &["runtime"];
+
+/// Crates exempt from span-name format checking (telemetry itself takes
+/// caller-supplied names as arguments).
+pub const SPAN_NAMING_EXEMPT: &[&str] = &["telemetry"];
+
+/// The single file allowed to mention unregistered `HQNN_*` names: the
+/// registry itself.
+pub const REGISTRY_FILE: &str = "crates/telemetry/src/env.rs";
+
+/// Static description of one rule, surfaced by `hqnn-lint --list-rules` and
+/// the README table.
+pub struct Rule {
+    /// Stable kebab-case name used in `lint:allow(...)`.
+    pub name: &'static str,
+    /// One-line summary of what the rule flags.
+    pub summary: &'static str,
+    /// Why the invariant matters for this workspace.
+    pub rationale: &'static str,
+}
+
+/// All rules, in the order findings are reported.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-iter",
+        summary: "HashMap/HashSet in numeric crates (tensor, qsim, nn, search, autodiff)",
+        rationale: "unordered iteration breaks bitwise-deterministic results; use BTreeMap/Vec",
+    },
+    Rule {
+        name: "wall-clock",
+        summary: "Instant/SystemTime outside telemetry and perfbench",
+        rationale: "timing reads in numeric code invite time-dependent control flow; route timing through hqnn-telemetry",
+    },
+    Rule {
+        name: "thread-id",
+        summary: "thread-identity queries (ThreadId, thread::current().id()) outside runtime",
+        rationale: "logic keyed on thread identity breaks the determinism-across-HQNN_THREADS guarantee",
+    },
+    Rule {
+        name: "panic",
+        summary: "unwrap/expect/panic!/todo!/unimplemented! in non-test library code",
+        rationale: "library code must surface errors as Result; annotated panics document why they are unreachable",
+    },
+    Rule {
+        name: "forbid-unsafe",
+        summary: "crate root missing #![forbid(unsafe_code)]",
+        rationale: "the workspace is 100% safe Rust; forbid (not deny) makes that unoverridable downstream",
+    },
+    Rule {
+        name: "env-registry",
+        summary: "HQNN_* environment variable not present in the central registry",
+        rationale: "unregistered names are invisible to env::warn_unknown_vars, so typos (HQNN_THREAD) fail silently",
+    },
+    Rule {
+        name: "span-naming",
+        summary: "telemetry span/metric name not matching crate.noun_verb (one dot, lowercase)",
+        rationale: "trace tooling groups by the dotted prefix; free-form names fragment profiles",
+    },
+];
+
+/// `true` if `name` is a known rule.
+pub fn is_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Human-readable description with the fix.
+    pub message: String,
+}
+
+/// Per-file context the engine computes while walking the workspace.
+pub struct FileCtx<'a> {
+    /// Crate directory name (`qsim`, `telemetry`, …).
+    pub crate_name: &'a str,
+    /// Path relative to the workspace root, forward slashes.
+    pub rel_path: &'a str,
+    /// `true` for binary code (`src/main.rs`, `src/bin/*`): exempt from the
+    /// panic rule — binaries may crash on startup errors.
+    pub is_bin: bool,
+    /// `true` when this file is a crate root (`src/lib.rs`) that must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+    /// Registered HQNN_* names (lexed from [`REGISTRY_FILE`]).
+    pub registry: &'a [String],
+}
+
+/// Runs every rule over one lexed file, honoring `lint:allow` annotations.
+pub fn check_file(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    check_hash_iter(lexed, ctx, out);
+    check_wall_clock(lexed, ctx, out);
+    check_thread_id(lexed, ctx, out);
+    check_panic(lexed, ctx, out);
+    check_forbid_unsafe(lexed, ctx, out);
+    check_env_registry(lexed, ctx, out);
+    check_span_naming(lexed, ctx, out);
+}
+
+fn push(
+    lexed: &Lexed,
+    ctx: &FileCtx<'_>,
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) {
+    if !lexed.allowed(rule, line) {
+        out.push(Finding {
+            file: ctx.rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+}
+
+fn check_hash_iter(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !NUMERIC_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for t in &lexed.tokens {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            push(
+                lexed,
+                ctx,
+                out,
+                "hash-iter",
+                t.line,
+                format!(
+                    "{} in deterministic numeric crate `{}`; iteration order varies across runs — use BTreeMap/BTreeSet or a Vec",
+                    t.text, ctx.crate_name
+                ),
+            );
+        }
+    }
+}
+
+fn check_wall_clock(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if WALLCLOCK_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for t in &lexed.tokens {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" {
+            push(
+                lexed,
+                ctx,
+                out,
+                "wall-clock",
+                t.line,
+                format!(
+                    "{} outside telemetry/perfbench; route timing through hqnn-telemetry spans so numeric code stays time-independent",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_thread_id(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if THREAD_ID_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = t.text == "ThreadId"
+            || (t.text == "current"
+                && matches(toks, i + 1, &["(", ")", ".", "id", "("]));
+        if hit {
+            push(
+                lexed,
+                ctx,
+                out,
+                "thread-id",
+                t.line,
+                format!(
+                    "thread-identity query in `{}`; results must not depend on which worker ran the task — pass an explicit task index instead",
+                    ctx.crate_name
+                ),
+            );
+        }
+    }
+}
+
+fn check_panic(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_bin {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call = |name: &str| {
+            t.text == name
+                && i >= 1
+                && toks[i - 1].is_punct(".")
+                && matches(toks, i + 1, &["("])
+        };
+        let macro_call = |name: &str| t.text == name && matches(toks, i + 1, &["!"]);
+        let what = if method_call("unwrap") {
+            Some(".unwrap()")
+        } else if method_call("expect") {
+            Some(".expect()")
+        } else if macro_call("panic") {
+            Some("panic!")
+        } else if macro_call("unimplemented") {
+            Some("unimplemented!")
+        } else if macro_call("todo") {
+            Some("todo!")
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            push(
+                lexed,
+                ctx,
+                out,
+                "panic",
+                t.line,
+                format!(
+                    "{what} in library code; return a Result, or annotate with `// lint:allow(panic): <why this is unreachable>`"
+                ),
+            );
+        }
+    }
+}
+
+fn check_forbid_unsafe(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_crate_root {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let has = toks.iter().enumerate().any(|(i, t)| {
+        t.is_punct("#")
+            && matches(toks, i + 1, &["!", "[", "forbid", "(", "unsafe_code", ")", "]"])
+    });
+    if !has {
+        // File-scoped rule: any lint:allow(forbid-unsafe) in the file
+        // suppresses (line 0 = file scope).
+        if !lexed.allowed("forbid-unsafe", 0) {
+            out.push(Finding {
+                file: ctx.rel_path.to_string(),
+                line: 1,
+                rule: "forbid-unsafe",
+                message: "crate root missing `#![forbid(unsafe_code)]`; every workspace crate must forbid unsafe"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_env_registry(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.rel_path == REGISTRY_FILE {
+        return;
+    }
+    for t in &lexed.tokens {
+        if t.in_test || t.kind != TokKind::Str {
+            continue;
+        }
+        if !is_env_name(&t.text) {
+            continue;
+        }
+        if !ctx.registry.iter().any(|r| r == &t.text) {
+            push(
+                lexed,
+                ctx,
+                out,
+                "env-registry",
+                t.line,
+                format!(
+                    "`{}` is not in the central registry ({REGISTRY_FILE}); register it so warn_unknown_vars can catch typos",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `true` for a plausible HQNN env-var name: `HQNN_` followed by at least
+/// one `[A-Z0-9_]` character and nothing else. The bare prefix `"HQNN_"`
+/// (used in scanning code) does not count.
+pub fn is_env_name(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("HQNN_") else {
+        return false;
+    };
+    !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
+}
+
+fn check_span_naming(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if SPAN_NAMING_EXEMPT.contains(&ctx.crate_name) {
+        return;
+    }
+    const EMITTERS: &[&str] = &["span", "event", "counter", "gauge", "gauge_max"];
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident || !EMITTERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Skip definitions (`fn span(...)`) and field/method names that are
+        // not calls.
+        if i >= 1 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_punct(":")) {
+            continue;
+        }
+        if !matches(toks, i + 1, &["("]) {
+            continue;
+        }
+        // First string literal among the next few tokens is the name
+        // argument; calls that build names dynamically are not checked.
+        let Some(name_tok) = toks[i + 2..].iter().take(4).find(|n| n.kind == TokKind::Str)
+        else {
+            continue;
+        };
+        if !is_span_name(&name_tok.text) {
+            push(
+                lexed,
+                ctx,
+                out,
+                "span-naming",
+                name_tok.line,
+                format!(
+                    "telemetry name `{}` does not match `crate.noun_verb` (lowercase, exactly one dot)",
+                    name_tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// `true` for a well-formed telemetry name: `seg.seg` where each segment is
+/// `[a-z][a-z0-9_]*` and there is exactly one dot.
+pub fn is_span_name(s: &str) -> bool {
+    let mut parts = s.split('.');
+    let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    let seg_ok = |seg: &str| {
+        seg.as_bytes().first().is_some_and(|c| c.is_ascii_lowercase())
+            && seg
+                .bytes()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
+    };
+    seg_ok(a) && seg_ok(b)
+}
+
+/// `true` when the tokens starting at `from` match `pattern` texts exactly
+/// (kind-insensitive; used for punctuation/ident sequences).
+fn matches(toks: &[crate::lexer::Tok], from: usize, pattern: &[&str]) -> bool {
+    pattern
+        .iter()
+        .enumerate()
+        .all(|(k, p)| toks.get(from + k).is_some_and(|t| t.text == *p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx<'a>(crate_name: &'a str, rel_path: &'a str, registry: &'a [String]) -> FileCtx<'a> {
+        FileCtx {
+            crate_name,
+            rel_path,
+            is_bin: false,
+            is_crate_root: false,
+            registry,
+        }
+    }
+
+    fn run(src: &str, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check_file(&lex(src), ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn hash_iter_only_in_numeric_crates() {
+        let src = "use std::collections::HashMap;\n";
+        let reg: Vec<String> = Vec::new();
+        assert_eq!(run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg)).len(), 1);
+        assert_eq!(run(src, &ctx("telemetry", "crates/telemetry/src/x.rs", &reg)).len(), 0);
+    }
+
+    #[test]
+    fn panic_rule_exempts_tests_and_bins() {
+        let reg: Vec<String> = Vec::new();
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        let findings = run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+
+        let mut c = ctx("qsim", "crates/qsim/src/bin/tool.rs", &reg);
+        c.is_bin = true;
+        assert_eq!(run(src, &c).len(), 0);
+    }
+
+    #[test]
+    fn panic_rule_ignores_non_call_uses() {
+        let reg: Vec<String> = Vec::new();
+        // `unwrap_or` / field named panic / `panic` without `!` are fine.
+        let src = "fn f() { x.unwrap_or(0); let panic = 1; s.expect_err(\"e\"); }\n";
+        assert_eq!(run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg)).len(), 0);
+    }
+
+    #[test]
+    fn thread_id_sequence_detection() {
+        let reg: Vec<String> = Vec::new();
+        let src = "fn f() { let id = std::thread::current().id(); }\n";
+        assert_eq!(run(src, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 1);
+        assert_eq!(run(src, &ctx("runtime", "crates/runtime/src/x.rs", &reg)).len(), 0);
+        // `current()` without `.id()` is fine.
+        let benign = "fn f() { let t = std::thread::current(); name(&t); }\n";
+        assert_eq!(run(benign, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
+    }
+
+    #[test]
+    fn env_registry_checks_string_literals() {
+        let reg = vec!["HQNN_LOG".to_string()];
+        let good = "fn f() { var(\"HQNN_LOG\"); }\n";
+        assert_eq!(run(good, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
+        let typo = "fn f() { var(\"HQNN_LGO\"); }\n";
+        let findings = run(typo, &ctx("nn", "crates/nn/src/x.rs", &reg));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("HQNN_LGO"));
+        // The bare prefix used by scanning code is not an env name.
+        let prefix = "fn f() { s.starts_with(\"HQNN_\"); }\n";
+        assert_eq!(run(prefix, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
+    }
+
+    #[test]
+    fn span_naming_shapes() {
+        assert!(is_span_name("qsim.state_apply"));
+        assert!(is_span_name("search.trial_run"));
+        assert!(!is_span_name("no_dot"));
+        assert!(!is_span_name("two.dots.here"));
+        assert!(!is_span_name("Upper.case"));
+        assert!(!is_span_name("qsim."));
+        let reg: Vec<String> = Vec::new();
+        let bad = "fn f(t: &Telemetry) { t.span(\"badname\"); }\n";
+        assert_eq!(run(bad, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 1);
+        let good = "fn f(t: &Telemetry) { t.span(\"nn.forward_pass\"); }\n";
+        assert_eq!(run(good, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
+        // Declaring a fn named span is not a call site.
+        let decl = "fn span(&self, name: &str) {}\n";
+        assert_eq!(run(decl, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
+    }
+
+    #[test]
+    fn forbid_unsafe_detects_presence_and_absence() {
+        let reg: Vec<String> = Vec::new();
+        let mut c = ctx("foo", "crates/foo/src/lib.rs", &reg);
+        c.is_crate_root = true;
+        let with = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        assert_eq!(run(with, &c).len(), 0);
+        let without = "fn f() {}\n";
+        let findings = run(without, &c);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "forbid-unsafe");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let reg: Vec<String> = Vec::new();
+        let src = "fn f() { x.unwrap(); } // lint:allow(panic): invariant upheld by caller\n";
+        assert_eq!(run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg)).len(), 0);
+    }
+
+    #[test]
+    fn rule_table_is_consistent() {
+        assert!(is_rule("panic") && is_rule("hash-iter") && !is_rule("nonsense"));
+        // Names are kebab-case and unique.
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(r.name.bytes().all(|b| b.is_ascii_lowercase() || b == b'-'));
+            assert!(!RULES[i + 1..].iter().any(|o| o.name == r.name));
+        }
+    }
+}

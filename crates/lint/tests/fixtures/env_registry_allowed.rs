@@ -1,0 +1,10 @@
+// Fixture: registered names pass; an annotated experimental one passes too.
+
+pub fn configured_threads() -> Option<String> {
+    std::env::var("HQNN_THREADS").ok()
+}
+
+pub fn experimental_flag() -> bool {
+    // lint:allow(env-registry): prototype flag, registered before release
+    std::env::var("HQNN_EXPERIMENTAL_X").is_ok()
+}

@@ -1,0 +1,7 @@
+// Fixture: reading an HQNN_* variable that is not in the central registry
+// must be flagged (rule: env-registry). HQNN_THREAD is the classic typo of
+// HQNN_THREADS that motivated the registry.
+
+pub fn configured_threads() -> Option<String> {
+    std::env::var("HQNN_THREAD").ok()
+}

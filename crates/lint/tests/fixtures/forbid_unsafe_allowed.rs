@@ -1,0 +1,4 @@
+// Fixture: crate root carrying the attribute — must pass.
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

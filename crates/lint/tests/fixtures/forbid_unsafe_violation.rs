@@ -1,0 +1,4 @@
+// Fixture: a crate root without #![forbid(unsafe_code)] must be flagged
+// (rule: forbid-unsafe). This file is linted as if it were src/lib.rs.
+
+pub fn noop() {}

@@ -1,0 +1,10 @@
+// Fixture: the same HashMap use, annotated — must pass.
+// lint:allow(hash-iter): interned keys are never iterated, only probed
+use std::collections::HashMap;
+
+pub fn lookup_table() -> HashMap<&'static str, u32> { // lint:allow(hash-iter): probe-only
+    // lint:allow(hash-iter): probe-only map, iteration order never observed
+    let mut m = HashMap::new();
+    m.insert("a", 1);
+    m
+}

@@ -1,0 +1,15 @@
+// Fixture: annotated unwrap plus test-code unwrap — must pass.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // lint:allow(panic): caller contract guarantees non-empty input
+    *bytes.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_freely() {
+        let v: Result<u32, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: bare unwrap in library code must be flagged (rule: panic).
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap()
+}

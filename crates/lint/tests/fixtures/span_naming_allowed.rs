@@ -1,0 +1,14 @@
+// Fixture: crate.noun_verb names pass; an annotated legacy name passes too.
+
+pub fn run(t: &Telemetry) {
+    let _g = t.span("search.trial_run");
+    t.counter("qsim.gates_applied", 1);
+    // lint:allow(span-naming): legacy dashboard expects this exact name
+    t.counter("LegacyCounter", 1);
+}
+
+pub struct Telemetry;
+impl Telemetry {
+    pub fn span(&self, _name: &str) {}
+    pub fn counter(&self, _name: &str, _v: u64) {}
+}

@@ -1,0 +1,12 @@
+// Fixture: free-form telemetry names must be flagged (rule: span-naming).
+
+pub fn run(t: &Telemetry) {
+    let _g = t.span("doing the big loop");
+    t.counter("iterations", 1);
+}
+
+pub struct Telemetry;
+impl Telemetry {
+    pub fn span(&self, _name: &str) {}
+    pub fn counter(&self, _name: &str, _v: u64) {}
+}

@@ -1,0 +1,7 @@
+// Fixture: annotated thread-identity read — must pass.
+
+pub fn debug_label() -> String {
+    // lint:allow(thread-id): diagnostic label only, never affects results
+    let id = std::thread::current().id();
+    format!("worker-{id:?}")
+}

@@ -1,0 +1,8 @@
+// Fixture: thread-identity branching outside runtime must be flagged
+// (rule: thread-id).
+
+pub fn shard_for_current_thread(n_shards: u64) -> u64 {
+    let id = std::thread::current().id();
+    let hash = format!("{id:?}").len() as u64;
+    hash % n_shards
+}

@@ -1,0 +1,8 @@
+// Fixture: annotated wall-clock read — must pass.
+// lint:allow(wall-clock): coarse deadline check, value never enters results
+use std::time::Instant;
+
+pub fn deadline_passed(start: std::time::Instant, budget_s: f64) -> bool { // lint:allow(wall-clock): abort check
+    // lint:allow(wall-clock): used only to abort, never in numeric output
+    Instant::now().duration_since(start).as_secs_f64() > budget_s
+}

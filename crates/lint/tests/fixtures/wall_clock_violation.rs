@@ -1,0 +1,8 @@
+// Fixture: Instant in a non-telemetry crate must be flagged (rule: wall-clock).
+use std::time::Instant;
+
+pub fn timed<F: FnOnce()>(f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}

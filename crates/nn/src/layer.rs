@@ -143,6 +143,7 @@ impl Layer for Dense {
         let input = self
             .cached_input
             .as_ref()
+            // lint:allow(panic): documented Layer API contract
             .expect("backward called before forward");
         assert_eq!(
             grad_output.shape(),
@@ -269,6 +270,7 @@ impl Layer for Activation {
         let out = self
             .cached_output
             .as_ref()
+            // lint:allow(panic): documented Layer API contract
             .expect("backward called before forward");
         assert_eq!(grad_output.shape(), out.shape(), "gradient shape mismatch");
         grad_output.zip_with(out, |g, y| g * self.kind.derivative_from_output(y))

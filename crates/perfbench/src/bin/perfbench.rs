@@ -128,7 +128,7 @@ fn main() {
 
     if args.quiet {
         telemetry::set_level(telemetry::Level::Off);
-    } else if std::env::var_os("HQNN_LOG").is_none() {
+    } else if !telemetry::env::is_set("HQNN_LOG") {
         telemetry::set_level(telemetry::Level::Info);
     }
     if let Some(path) = &args.log_json {

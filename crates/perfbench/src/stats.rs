@@ -36,7 +36,9 @@ pub fn summarize(samples_ns: &[u64]) -> Summary {
         iters: samples_ns.len() as u64,
         median_ns: median,
         mad_ns: median_u64(&deviations),
+        // lint:allow(panic): non-empty asserted at function entry
         min_ns: *samples_ns.iter().min().unwrap(),
+        // lint:allow(panic): non-empty asserted at function entry
         max_ns: *samples_ns.iter().max().unwrap(),
         mean_ns: (samples_ns.iter().map(|&s| s as u128).sum::<u128>() / samples_ns.len() as u128)
             as u64,

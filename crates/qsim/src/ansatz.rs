@@ -75,7 +75,20 @@ pub fn basic_entangler_layers(
             }
         }
     }
+    debug_verify(circuit, "basic_entangler_layers");
     next - param_offset
+}
+
+/// Debug-build hook run by every ansatz constructor: the emitted IR must
+/// pass the full semantic verifier.
+fn debug_verify(circuit: &Circuit, builder: &str) {
+    let _ = (circuit, builder);
+    #[cfg(debug_assertions)]
+    if let Err(err) = circuit.verify() {
+        // lint:allow(panic): constructor contract — an ansatz builder that
+        // emits invalid IR is a bug in this crate.
+        panic!("{builder} produced an invalid circuit: {err}");
+    }
 }
 
 /// Appends `layers` Strongly Entangling Layers: per layer, a general
@@ -109,6 +122,7 @@ pub fn strongly_entangling_layers(
             }
         }
     }
+    debug_verify(circuit, "strongly_entangling_layers");
     next - param_offset
 }
 
@@ -210,6 +224,10 @@ impl QnnTemplate {
     }
 
     /// Builds the executable circuit: encoding followed by the ansatz.
+    ///
+    /// Debug builds run the full semantic verifier ([`Circuit::verify`]) on
+    /// the result — an ansatz constructor that emits unverifiable IR is a
+    /// bug in this crate, caught here rather than mid-training.
     pub fn build(&self) -> Circuit {
         let mut c = Circuit::new(self.n_qubits);
         angle_encoding(&mut c, self.encoding_axis);
@@ -221,6 +239,7 @@ impl QnnTemplate {
                 strongly_entangling_layers(&mut c, self.depth, 0);
             }
         }
+        debug_verify(&c, "QnnTemplate::build");
         c
     }
 

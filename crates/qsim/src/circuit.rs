@@ -37,6 +37,7 @@ impl ParamSource {
     /// provided slices, or when called on `ParamSource::None`.
     pub fn resolve(&self, inputs: &[f64], params: &[f64]) -> f64 {
         match *self {
+            // lint:allow(panic): documented in the method contract above
             ParamSource::None => panic!("gate has no parameter"),
             ParamSource::Fixed(v) => v,
             ParamSource::Input(i) => inputs[i],

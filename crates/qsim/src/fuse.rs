@@ -51,8 +51,8 @@ thread_local! {
 fn env_fuse() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
     *ENV.get_or_init(|| {
-        std::env::var("HQNN_FUSE")
-            .map(|raw| matches!(raw.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on"))
+        hqnn_telemetry::env::var("HQNN_FUSE")
+            .map(|raw| hqnn_telemetry::env::parse_flag(&raw))
             .unwrap_or(false)
     })
 }
@@ -220,6 +220,67 @@ impl FusePlan {
         }
         state
     }
+
+    /// Audits this plan's legality for `circuit`: every op is covered by
+    /// exactly one segment, every `Run` has ≥ 2 ops in strictly increasing
+    /// program order, and all of a run's ops are single-qubit gates on the
+    /// run's wire. Used by [`Circuit::verify`] to hold the fusion pass to
+    /// the IR it was built from.
+    pub fn audit(&self, circuit: &Circuit) -> Result<(), String> {
+        if circuit.ops().len() != self.n_ops {
+            return Err(format!(
+                "plan covers {} ops but the circuit has {}",
+                self.n_ops,
+                circuit.ops().len()
+            ));
+        }
+        let mut seen = vec![false; self.n_ops];
+        let mark = |k: usize, seen: &mut Vec<bool>| -> Result<(), String> {
+            if k >= seen.len() {
+                return Err(format!("segment references op {k} beyond the op count"));
+            }
+            if seen[k] {
+                return Err(format!("op {k} appears in more than one segment"));
+            }
+            seen[k] = true;
+            Ok(())
+        };
+        for segment in &self.segments {
+            match segment {
+                Segment::Direct(k) => mark(*k, &mut seen)?,
+                Segment::Run { wire, ops } => {
+                    if ops.len() < 2 {
+                        return Err(format!(
+                            "run on wire {wire} has {} op(s); runs must collapse ≥ 2",
+                            ops.len()
+                        ));
+                    }
+                    let mut prev = None;
+                    for &k in ops {
+                        mark(k, &mut seen)?;
+                        if prev.is_some_and(|p| k <= p) {
+                            return Err(format!(
+                                "run on wire {wire} is not in increasing program order at op {k}"
+                            ));
+                        }
+                        prev = Some(k);
+                        match circuit.ops()[k].wires {
+                            Wires::One(w) if w == *wire => {}
+                            ref other => {
+                                return Err(format!(
+                                    "op {k} in a wire-{wire} run has wires {other:?}; runs may only contain single-qubit ops on the run wire"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(k) = seen.iter().position(|&s| !s) {
+            return Err(format!("op {k} is not covered by any segment"));
+        }
+        Ok(())
+    }
 }
 
 /// Index of the first op in a pending run (`usize::MAX` when empty), the
@@ -250,10 +311,10 @@ mod tests {
         // Default off (HQNN_FUSE unset in the test environment) unless the
         // env enables it; the scoped override always wins either way.
         let ambient = fusion_enabled();
-        assert_eq!(with_fusion(true, fusion_enabled), true);
-        assert_eq!(with_fusion(false, fusion_enabled), false);
+        assert!(with_fusion(true, fusion_enabled));
+        assert!(!with_fusion(false, fusion_enabled));
         let nested = with_fusion(true, || with_fusion(false, fusion_enabled));
-        assert_eq!(nested, false);
+        assert!(!nested);
         assert_eq!(fusion_enabled(), ambient);
     }
 

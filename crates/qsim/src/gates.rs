@@ -147,6 +147,7 @@ impl GateKind {
                 [z, C64::from_polar_unit(half)],
             ],
             GateKind::PhaseShift => [[o, z], [z, C64::from_polar_unit(theta)]],
+            // lint:allow(panic): callers route Swap via apply_swap, never matrix()
             GateKind::Swap => panic!("SWAP has no single-qubit matrix"),
         }
     }

@@ -83,6 +83,7 @@ pub fn adjoint(
                 let dm = op
                     .kind
                     .dmatrix(theta)
+                    // lint:allow(panic): grad loop only visits parametrized ops
                     .expect("differentiable op must be parametrized");
                 let mut mu = psi.clone();
                 match op.wires {

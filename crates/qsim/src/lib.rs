@@ -47,6 +47,7 @@ pub mod noise;
 pub mod observable;
 pub mod render;
 pub mod state;
+pub mod verify;
 
 pub use ansatz::{EntanglerKind, QnnTemplate, RotationAxis};
 pub use batch::{gradients_batch, GradEngine};
@@ -59,6 +60,7 @@ pub use gradient::{adjoint, finite_diff, parameter_shift, Gradients};
 pub use noise::{NoiseChannel, NoiseModel};
 pub use observable::{Observable, Pauli};
 pub use state::StateVector;
+pub use verify::{unitarity_deviation, VerifyError, UNITARITY_TOL};
 
 /// Maximum supported qubit count. A 2²⁴-amplitude state is ~256 MiB of
 /// complex doubles — beyond that a dense simulator stops being the right

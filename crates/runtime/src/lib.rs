@@ -45,6 +45,8 @@
 //! assert_eq!(n, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod pool;
 
 pub use pool::{par_map, par_map_range};
@@ -57,15 +59,16 @@ thread_local! {
     static OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
-/// The thread budget parsed from `HQNN_THREADS`, read once per process.
-/// `None` when unset or invalid (invalid values warn loudly, once).
+/// The thread budget parsed from `HQNN_THREADS` (via the central
+/// [`hqnn_telemetry::env`] registry), read once per process. `None` when
+/// unset or invalid (invalid values warn loudly, once).
 fn env_threads() -> Option<usize> {
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
     *ENV.get_or_init(|| {
-        let raw = std::env::var("HQNN_THREADS").ok()?;
-        match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => Some(n),
-            _ => {
+        let raw = hqnn_telemetry::env::var("HQNN_THREADS")?;
+        match hqnn_telemetry::env::parse_threads(&raw) {
+            Some(n) => Some(n),
+            None => {
                 hqnn_telemetry::event(
                     hqnn_telemetry::Level::Error,
                     "runtime.bad_threads",
@@ -88,11 +91,7 @@ pub fn threads() -> usize {
     if overridden >= 1 {
         return overridden;
     }
-    env_threads().unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    env_threads().unwrap_or_else(hqnn_telemetry::env::hardware_parallelism)
 }
 
 /// Runs `f` with the thread budget pinned to `n` on the calling thread

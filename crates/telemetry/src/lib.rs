@@ -36,6 +36,9 @@
 //! assert!(telemetry::report().contains("outer"));
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod env;
 mod event;
 pub mod manifest;
 mod registry;
@@ -80,6 +83,8 @@ pub fn init() {
     if LEVEL.load(Ordering::Relaxed) == u8::MAX {
         let raw = std::env::var("HQNN_LOG").ok();
         apply_env_level(raw.as_deref());
+        // With the level established, surface any HQNN_* typos exactly once.
+        env::warn_unknown_vars();
     }
 }
 
@@ -131,7 +136,7 @@ pub fn enabled(level: Level) -> bool {
 /// a machine-readable run log, not a console.
 pub fn add_jsonl_sink(path: impl AsRef<Path>) -> std::io::Result<()> {
     let jsonl = sink::JsonlSink::create(path.as_ref())?;
-    sinks().lock().unwrap().push(Box::new(jsonl));
+    sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(Box::new(jsonl));
     Ok(())
 }
 
@@ -139,13 +144,13 @@ pub fn add_jsonl_sink(path: impl AsRef<Path>) -> std::io::Result<()> {
 /// captured events (intended for tests).
 pub fn add_memory_sink() -> MemorySink {
     let mem = MemorySink::new();
-    sinks().lock().unwrap().push(Box::new(mem.clone()));
+    sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(Box::new(mem.clone()));
     mem
 }
 
 /// Flushes all sinks (call before reading a JSONL file mid-run).
 pub fn flush() {
-    for sink in sinks().lock().unwrap().iter_mut() {
+    for sink in sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter_mut() {
         sink.flush();
     }
 }
@@ -164,7 +169,7 @@ pub fn event(level: Level, name: &str, fields: &[(&str, FieldValue)]) {
             .collect(),
     };
     let console = enabled(level);
-    for sink in sinks().lock().unwrap().iter_mut() {
+    for sink in sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter_mut() {
         if console || !sink.respects_level() {
             sink.record(&ev);
         }
@@ -241,7 +246,7 @@ pub fn reset() {
     registry::global().clear();
     trace::disable();
     trace::clear();
-    let mut sinks = sinks().lock().unwrap();
+    let mut sinks = sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     sinks.clear();
     sinks.push(Box::new(sink::StderrSink));
     LEVEL.store(u8::MAX, Ordering::Relaxed);

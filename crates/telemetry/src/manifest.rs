@@ -112,31 +112,23 @@ pub fn config_hash<T: Serialize + ?Sized>(config: &T) -> String {
     format!("{hash:016x}")
 }
 
-/// Whether the environment enables qsim's gate-fusion path. Mirrors
-/// `hqnn-qsim`'s `HQNN_FUSE` parsing without depending on it (same
-/// layering rationale as [`configured_threads`]); scoped `with_fusion`
-/// overrides are per-thread test/bench tooling and intentionally not
-/// reflected here.
+/// Whether the environment enables qsim's gate-fusion path. Shares the
+/// central [`crate::env`] parser with `hqnn-qsim` (which depends on this
+/// crate, not the other way round); scoped `with_fusion` overrides are
+/// per-thread test/bench tooling and intentionally not reflected here.
 fn configured_fuse() -> bool {
-    std::env::var("HQNN_FUSE")
-        .map(|raw| matches!(raw.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on"))
+    crate::env::var("HQNN_FUSE")
+        .map(|raw| crate::env::parse_flag(&raw))
         .unwrap_or(false)
 }
 
 /// Thread count the run executes with. Mirrors `hqnn-runtime`'s resolution
-/// order (`HQNN_THREADS` env, then hardware parallelism) without depending
-/// on it — `hqnn-runtime` depends on this crate, not the other way round.
+/// order (`HQNN_THREADS` env, then hardware parallelism) through the same
+/// central [`crate::env`] parsers `hqnn-runtime` uses.
 fn configured_threads() -> usize {
-    if let Ok(raw) = std::env::var("HQNN_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    crate::env::var("HQNN_THREADS")
+        .and_then(|raw| crate::env::parse_threads(&raw))
+        .unwrap_or_else(crate::env::hardware_parallelism)
 }
 
 fn git_stdout(args: &[&str]) -> Option<String> {

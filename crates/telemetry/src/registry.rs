@@ -101,19 +101,19 @@ impl Registry {
     /// emit one example `span` event per path even below debug level.
     pub(crate) fn record_span(&self, path: &str, duration: Duration) -> bool {
         let ns = duration.as_nanos().min(u64::MAX as u128) as u64;
-        let mut spans = self.spans.lock().unwrap();
+        let mut spans = self.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let agg = spans.entry(path.to_string()).or_default();
         agg.record(ns);
         agg.count == 1
     }
 
     pub(crate) fn add_counter(&self, name: &str, delta: u64) {
-        let mut counters = self.counters.lock().unwrap();
+        let mut counters = self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         *counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
     pub(crate) fn set_gauge(&self, name: &str, value: f64) {
-        let mut gauges = self.gauges.lock().unwrap();
+        let mut gauges = self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         gauges.insert(name.to_string(), value);
     }
 
@@ -122,7 +122,7 @@ impl Registry {
     /// is order-independent, so concurrent writers race-freely converge on
     /// the same high-water mark.
     pub(crate) fn set_gauge_max(&self, name: &str, value: f64) {
-        let mut gauges = self.gauges.lock().unwrap();
+        let mut gauges = self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         gauges
             .entry(name.to_string())
             .and_modify(|v| *v = v.max(value))
@@ -133,7 +133,7 @@ impl Registry {
         let spans = self
             .spans
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(path, agg)| {
                 let mut samples = agg.samples.clone();
@@ -154,15 +154,15 @@ impl Registry {
             .collect();
         Snapshot {
             spans,
-            counters: self.counters.lock().unwrap().clone(),
-            gauges: self.gauges.lock().unwrap().clone(),
+            counters: self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
+            gauges: self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
         }
     }
 
     pub(crate) fn clear(&self) {
-        self.spans.lock().unwrap().clear();
-        self.counters.lock().unwrap().clear();
-        self.gauges.lock().unwrap().clear();
+        self.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 }
 

@@ -85,14 +85,14 @@ impl MemorySink {
 
     /// Copies out everything captured so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().unwrap().clone()
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     /// Captured events with the given name.
     pub fn events_named(&self, name: &str) -> Vec<Event> {
         self.events
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .filter(|e| e.name == name)
             .cloned()
@@ -100,13 +100,13 @@ impl MemorySink {
     }
 
     pub fn clear(&self) {
-        self.events.lock().unwrap().clear();
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 }
 
 impl Sink for MemorySink {
     fn record(&mut self, event: &Event) {
-        self.events.lock().unwrap().push(event.clone());
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(event.clone());
     }
 
     fn respects_level(&self) -> bool {

@@ -60,7 +60,7 @@ pub fn is_enabled() -> bool {
 
 /// Discards all buffered trace records.
 pub fn clear() {
-    let mut buf = buffer().lock().unwrap();
+    let mut buf = buffer().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     buf.records.clear();
     buf.dropped = 0;
 }
@@ -76,7 +76,7 @@ pub(crate) fn record(begin: bool, name: &str) {
         ts_us: crate::now_us(),
         tid: TID.with(|t| *t),
     };
-    let mut buf = buffer().lock().unwrap();
+    let mut buf = buffer().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if buf.records.len() >= TRACE_CAP {
         buf.dropped += 1;
         return;
@@ -88,7 +88,7 @@ pub(crate) fn record(begin: bool, name: &str) {
 /// dropped, begins still open at render time get a synthetic end at the
 /// final timestamp — so consumers always see matching pairs.
 fn balanced_records() -> Vec<TraceRecord> {
-    let buf = buffer().lock().unwrap();
+    let buf = buffer().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut out = Vec::with_capacity(buf.records.len());
     let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
     let mut last_ts = 0u64;
@@ -145,6 +145,7 @@ pub fn chrome_trace_json() -> String {
             Content::Str("ms".to_string()),
         ),
     ]);
+    // lint:allow(panic): document built from plain strings/numbers only
     serde_json::to_string(&doc).expect("trace document serializes")
 }
 
@@ -165,5 +166,5 @@ pub fn collapsed_stacks() -> String {
 
 /// Number of records discarded because the buffer was full.
 pub fn dropped() -> u64 {
-    buffer().lock().unwrap().dropped
+    buffer().lock().unwrap_or_else(std::sync::PoisonError::into_inner).dropped
 }

@@ -44,6 +44,7 @@ impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows
             .checked_mul(cols)
+            // lint:allow(panic): allocation-size overflow is unrecoverable
             .expect("matrix dimensions overflow usize");
         Self {
             rows,

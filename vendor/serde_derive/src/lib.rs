@@ -236,10 +236,10 @@ fn tuple_arity(stream: TokenStream) -> usize {
         match tok {
             TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
             TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
-            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
-                if idx + 1 < tokens.len() {
-                    arity += 1;
-                }
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < tokens.len() =>
+            {
+                arity += 1;
             }
             _ => {}
         }

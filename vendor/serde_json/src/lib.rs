@@ -301,7 +301,7 @@ impl<'a> Parser<'a> {
             }
             out.push_str(
                 std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|e| Error::new(e))?,
+                    .map_err(Error::new)?,
             );
             match self.peek() {
                 Some(b'"') => {
@@ -358,8 +358,8 @@ impl<'a> Parser<'a> {
             return Err(Error::new("truncated \\u escape"));
         }
         let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|e| Error::new(e))?;
-        let v = u32::from_str_radix(s, 16).map_err(|e| Error::new(e))?;
+            .map_err(Error::new)?;
+        let v = u32::from_str_radix(s, 16).map_err(Error::new)?;
         self.pos += 4;
         Ok(v)
     }
@@ -381,9 +381,9 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| Error::new(e))?;
+            .map_err(Error::new)?;
         if is_float {
-            let v: f64 = text.parse().map_err(|e| Error::new(e))?;
+            let v: f64 = text.parse().map_err(Error::new)?;
             Ok(Content::F64(v))
         } else if text.starts_with('-') {
             match text.parse::<i64>() {
@@ -391,7 +391,7 @@ impl<'a> Parser<'a> {
                 Err(_) => text
                     .parse::<f64>()
                     .map(Content::F64)
-                    .map_err(|e| Error::new(e)),
+                    .map_err(Error::new),
             }
         } else {
             match text.parse::<u64>() {
@@ -399,7 +399,7 @@ impl<'a> Parser<'a> {
                 Err(_) => text
                     .parse::<f64>()
                     .map(Content::F64)
-                    .map_err(|e| Error::new(e)),
+                    .map_err(Error::new),
             }
         }
     }
