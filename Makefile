@@ -3,7 +3,7 @@
 CARGO ?= cargo
 PROFILE_DIR ?= experiment-results
 
-.PHONY: build test repro profile smoke bench bench-check bench-smoke bench-baseline lint fmt clippy clean
+.PHONY: build test repro profile smoke bench bench-check bench-smoke bench-baseline bench-trend lint fmt clippy clean
 
 build:
 	$(CARGO) build --release --workspace
@@ -27,10 +27,11 @@ smoke:
 	$(CARGO) run -p hqnn-bench --release --bin repro -- --smoke --fresh \
 		--cache /tmp/hqnn-smoke --log-json /tmp/hqnn-smoke.jsonl
 
-# Microbenchmark suite: writes bench/BENCH_<stamp>.json with run manifest,
-# median/MAD timings, throughput, and measured-vs-analytic FLOPs efficiency.
+# Microbenchmark suite: appends bench/history/BENCH_<stamp>.json with run
+# manifest, median/MAD timings, throughput, and measured-vs-analytic FLOPs
+# efficiency. Commit the new entry to extend the repo's perf record.
 bench:
-	$(CARGO) run -p hqnn-perfbench --release --bin perfbench
+	$(CARGO) run -p hqnn-perfbench --release --bin perfbench -- --out bench/history
 
 # Same run, then gate against the committed baseline: exits non-zero when
 # any benchmark regresses beyond its noise-aware threshold.
@@ -44,6 +45,10 @@ bench-smoke:
 # Rewrite bench/baseline.json from a fresh full-scale run on this machine.
 bench-baseline:
 	$(CARGO) run -p hqnn-perfbench --release --bin perfbench -- --update-baseline
+
+# Per-benchmark trajectory report over the committed bench/history/ series.
+bench-trend:
+	$(CARGO) run -p hqnn-perfbench --release --bin perfbench -- --trend
 
 # Static analysis gate: the workspace invariant linter (determinism, panic
 # hygiene, env registry, span naming — see `hqnn-lint --list-rules`), the

@@ -52,6 +52,14 @@ pub use quantum_layer::{GradientMethod, QuantumLayer};
 /// environment trigger a one-time `env.unknown_var` warning.
 pub use hqnn_telemetry::env;
 
+/// Training-health sentinels (NaN/Inf loss, gradient-norm monitors).
+///
+/// Hosted by `hqnn-nn` where the training loop lives; re-exported here so
+/// hybrid-model drivers configure them through the same front door as the
+/// rest of the workspace (`hqnn_core::health::set_action`, or the
+/// registered `HQNN_HEALTH` env var).
+pub use hqnn_nn::health;
+
 /// One-stop imports for applications using the workspace.
 pub mod prelude {
     pub use crate::{

@@ -331,9 +331,17 @@ fn check_span_naming(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         if t.in_test || t.kind != TokKind::Ident || !EMITTERS.contains(&t.text.as_str()) {
             continue;
         }
-        // Skip definitions (`fn span(...)`) and field/method names that are
-        // not calls.
-        if i >= 1 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_punct(":")) {
+        // Skip definitions (`fn span(...)`) and field positions
+        // (`counter: u64`) that are not calls. A *single* preceding colon is
+        // a field; `::` lexes as two `:` tokens, so path-qualified calls
+        // like `telemetry::counter("…")` must still be checked.
+        if i >= 1 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        if i >= 1
+            && toks[i - 1].is_punct(":")
+            && !(i >= 2 && toks[i - 2].is_punct(":"))
+        {
             continue;
         }
         if !matches(toks, i + 1, &["("]) {
@@ -477,6 +485,15 @@ mod tests {
         // Declaring a fn named span is not a call site.
         let decl = "fn span(&self, name: &str) {}\n";
         assert_eq!(run(decl, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
+        // Path-qualified metric calls are call sites: `::` lexes as two `:`
+        // tokens and must not be skipped as a field position.
+        let qualified = "fn f() { telemetry::counter(\"BadName\", 1); }\n";
+        assert_eq!(run(qualified, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 1);
+        let qualified_ok = "fn f() { telemetry::gauge_max(\"nn.grad_peak\", x); }\n";
+        assert_eq!(run(qualified_ok, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
+        // A lone colon before the ident (type/field position) still skips.
+        let field = "fn f(kind: counter) { other(kind); }\n";
+        assert_eq!(run(field, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
     }
 
     #[test]

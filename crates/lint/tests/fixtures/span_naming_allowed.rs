@@ -5,6 +5,9 @@ pub fn run(t: &Telemetry) {
     t.counter("qsim.gates_applied", 1);
     // lint:allow(span-naming): legacy dashboard expects this exact name
     t.counter("LegacyCounter", 1);
+    // Path-qualified calls with conforming names pass.
+    telemetry::counter("nn.batches_done", 1);
+    telemetry::gauge_max("nn.grad_norm_peak", 2.5);
 }
 
 pub struct Telemetry;

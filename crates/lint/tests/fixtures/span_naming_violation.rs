@@ -3,6 +3,10 @@
 pub fn run(t: &Telemetry) {
     let _g = t.span("doing the big loop");
     t.counter("iterations", 1);
+    // Path-qualified calls are call sites too — `::` must not be mistaken
+    // for a struct-field position.
+    telemetry::counter("BadMetricName", 1);
+    telemetry::gauge_max("peakMemory", 1.0);
 }
 
 pub struct Telemetry;

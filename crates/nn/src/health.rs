@@ -1,0 +1,247 @@
+//! Training-health sentinels: NaN/Inf loss and gradient-norm monitors.
+//!
+//! A diverging run (exploding learning rate, saturated quantum layer, bad
+//! seed) used to die silently — its NaN loss flowed into the study's
+//! accuracy averages and polluted the FLOPs/accuracy frontier without a
+//! trace. The sentinels watch every training step and emit structured
+//! `nn.health_*` error events carrying the current span path, so a bad
+//! combo inside `search_level` is visible *and attributable* in the JSONL
+//! log.
+//!
+//! The action on a tripped monitor is set by the registered `HQNN_HEALTH`
+//! env var (`off|warn|abort`, default `warn`). The checks are read-only —
+//! they never modify losses, gradients, or optimizer state — so enabling
+//! them cannot change training numerics, and study output stays
+//! byte-identical at any thread count.
+
+use hqnn_telemetry as telemetry;
+use std::sync::atomic::{AtomicU8, Ordering};
+use telemetry::env::{self, HealthAction};
+
+/// Gradient L2-norm threshold above which a step is reported as exploding.
+/// Healthy runs in this workspace sit many orders of magnitude below this,
+/// so the monitor only trips on genuine divergence.
+pub const GRAD_NORM_LIMIT: f64 = 1e6;
+
+const UNSET: u8 = u8::MAX;
+static ACTION: AtomicU8 = AtomicU8::new(UNSET);
+
+fn encode(action: HealthAction) -> u8 {
+    match action {
+        HealthAction::Off => 0,
+        HealthAction::Warn => 1,
+        HealthAction::Abort => 2,
+    }
+}
+
+fn decode(v: u8) -> HealthAction {
+    match v {
+        0 => HealthAction::Off,
+        2 => HealthAction::Abort,
+        _ => HealthAction::Warn,
+    }
+}
+
+/// The active sentinel action: `HQNN_HEALTH` on first read, `Warn` when
+/// unset or invalid (an invalid value warns loudly via `env.bad_value`).
+pub fn action() -> HealthAction {
+    let raw = ACTION.load(Ordering::Relaxed);
+    if raw != UNSET {
+        return decode(raw);
+    }
+    let resolved = match env::var("HQNN_HEALTH") {
+        None => HealthAction::Warn,
+        Some(value) => env::parse_health(&value).unwrap_or_else(|| {
+            telemetry::event(
+                telemetry::Level::Error,
+                "env.bad_value",
+                &[
+                    ("var", "HQNN_HEALTH".into()),
+                    ("value", value.as_str().into()),
+                    ("accepted", "off|warn|abort".into()),
+                ],
+            );
+            HealthAction::Warn
+        }),
+    };
+    ACTION.store(encode(resolved), Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the sentinel action (wins over `HQNN_HEALTH`; tests mostly).
+pub fn set_action(action: HealthAction) {
+    ACTION.store(encode(action), Ordering::Relaxed);
+}
+
+/// True when the sentinels should run at all.
+pub fn enabled() -> bool {
+    action() != HealthAction::Off
+}
+
+/// Emits one `nn.health_*` event and applies the configured action.
+fn report(event_name: &str, metric: &str, value: f64, epoch: usize, step: u64) {
+    let action = action();
+    let span = telemetry::current_span_path().unwrap_or_default();
+    telemetry::event(
+        telemetry::Level::Error,
+        event_name,
+        &[
+            ("metric", metric.into()),
+            ("value", value.into()),
+            ("epoch", epoch.into()),
+            ("step", step.into()),
+            ("span", span.as_str().into()),
+            (
+                "action",
+                match action {
+                    HealthAction::Abort => "abort",
+                    _ => "warn",
+                }
+                .into(),
+            ),
+        ],
+    );
+    if action == HealthAction::Abort {
+        // lint:allow(panic): HQNN_HEALTH=abort explicitly requests fail-fast
+        panic!(
+            "training-health sentinel: {metric} = {value} at epoch {epoch} step {step} \
+             (span `{span}`); set HQNN_HEALTH=warn to continue through divergence"
+        );
+    }
+}
+
+/// Checks a mini-batch loss; trips on NaN or ±Inf. Returns `true` when the
+/// loss is healthy (always `true` when sentinels are off).
+pub fn check_loss(loss: f64, epoch: usize, step: u64) -> bool {
+    if !enabled() || loss.is_finite() {
+        return true;
+    }
+    report("nn.health_loss", "train_loss", loss, epoch, step);
+    false
+}
+
+/// Checks a gradient L2 norm; trips on NaN/Inf or norms above
+/// [`GRAD_NORM_LIMIT`]. Returns `true` when the gradient is healthy.
+pub fn check_grad_norm(norm: f64, epoch: usize, step: u64) -> bool {
+    if !enabled() || (norm.is_finite() && norm <= GRAD_NORM_LIMIT) {
+        return true;
+    }
+    report("nn.health_gradnorm", "grad_norm", norm, epoch, step);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sequential;
+    use crate::optimizer::Adam;
+    use crate::train::{train, TrainConfig};
+    use crate::layer::{Activation, Dense};
+    use hqnn_tensor::{Matrix, SeededRng};
+    use std::sync::Mutex;
+
+    // `ACTION` is process-global, so tests that change it (or that must
+    // observe a pinned action while tripping a sentinel) serialise here.
+    // Healthy-training tests elsewhere in the crate are unaffected: they
+    // never trip a monitor, so the ambient action is irrelevant to them.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    /// A tiny classifier plus inputs extreme enough to diverge on step one.
+    fn diverging_setup() -> (Sequential, Matrix, Vec<usize>) {
+        let mut rng = SeededRng::new(3);
+        let mut model = Sequential::new();
+        model.push(Dense::new(2, 4, &mut rng));
+        model.push(Activation::relu());
+        model.push(Dense::new(4, 2, &mut rng));
+        let x = Matrix::filled(8, 2, 1e300);
+        let y = (0..8).map(|i| i % 2).collect();
+        (model, x, y)
+    }
+
+    #[test]
+    fn healthy_values_pass_silently() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_action(HealthAction::Warn);
+        assert!(check_loss(0.35, 0, 0));
+        assert!(check_grad_norm(12.5, 0, 0));
+        assert!(check_grad_norm(0.0, 3, 99));
+    }
+
+    #[test]
+    fn off_disables_all_checks() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_action(HealthAction::Off);
+        assert!(!enabled());
+        assert!(check_loss(f64::NAN, 0, 0));
+        assert!(check_grad_norm(f64::INFINITY, 0, 0));
+        set_action(HealthAction::Warn);
+    }
+
+    #[test]
+    fn warn_reports_but_continues() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_action(HealthAction::Warn);
+        telemetry::set_level(telemetry::Level::Off);
+        assert!(!check_loss(f64::NAN, 2, 17));
+        assert!(!check_loss(f64::NEG_INFINITY, 2, 18));
+        assert!(!check_grad_norm(GRAD_NORM_LIMIT * 10.0, 2, 19));
+        assert!(!check_grad_norm(f64::NAN, 2, 20));
+    }
+
+    #[test]
+    fn abort_panics_with_context() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_action(HealthAction::Abort);
+        telemetry::set_level(telemetry::Level::Off);
+        let result = std::panic::catch_unwind(|| check_loss(f64::NAN, 5, 3));
+        set_action(HealthAction::Warn);
+        let err = result.expect_err("abort must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("train_loss"), "{msg}");
+        assert!(msg.contains("epoch 5"), "{msg}");
+    }
+
+    #[test]
+    fn diverging_training_emits_attributable_events() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_action(HealthAction::Warn);
+        telemetry::set_level(telemetry::Level::Off);
+        let mem = telemetry::add_memory_sink();
+
+        let (mut model, x, y) = diverging_setup();
+        let mut opt = Adam::new(0.001);
+        let mut rng = SeededRng::new(4);
+        let config = TrainConfig::fast().with_epochs(2);
+        let report = train(&mut model, &mut opt, &x, &y, &x, &y, 2, &config, &mut rng);
+        // Warn mode completes the full budget despite divergence.
+        assert_eq!(report.epochs_run, 2);
+
+        let mut health_events = mem.events_named("nn.health_loss");
+        health_events.extend(mem.events_named("nn.health_gradnorm"));
+        assert!(!health_events.is_empty(), "divergence must be reported");
+        let fields = &health_events[0].fields;
+        // Attribution: the event carries the enclosing span path (`nn.train`
+        // opens one, so it is never empty here) and the warn action.
+        let span = fields.iter().find(|(k, _)| k == "span").expect("span field");
+        assert_eq!(span.1, telemetry::FieldValue::Str("nn.train/nn.epoch".into()));
+        assert!(fields.iter().any(|(k, v)| {
+            k == "action" && *v == telemetry::FieldValue::Str("warn".into())
+        }));
+    }
+
+    #[test]
+    fn abort_action_stops_diverging_training() {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_action(HealthAction::Abort);
+        telemetry::set_level(telemetry::Level::Off);
+        let (mut model, x, y) = diverging_setup();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut opt = Adam::new(0.001);
+            let mut rng = SeededRng::new(4);
+            let config = TrainConfig::fast().with_epochs(2);
+            train(&mut model, &mut opt, &x, &y, &x, &y, 2, &config, &mut rng)
+        }));
+        set_action(HealthAction::Warn);
+        assert!(result.is_err(), "abort must stop the run");
+    }
+}

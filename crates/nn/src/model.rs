@@ -100,6 +100,20 @@ impl Sequential {
         });
     }
 
+    /// L2 norm over all parameter gradients stored by the last
+    /// [`Sequential::backward`]. Accumulated as a sequential fold in
+    /// [`Sequential::visit_params`] order, so the value is deterministic at
+    /// any thread count — the training-health sentinels rely on that.
+    pub fn grad_norm(&mut self) -> f64 {
+        let mut sum_sq = 0.0;
+        self.visit_params(&mut |_value, grad| {
+            for g in grad.as_slice() {
+                sum_sq += g * g;
+            }
+        });
+        sum_sq.sqrt()
+    }
+
     /// Total number of trainable scalars — one of the paper's two complexity
     /// metrics.
     pub fn param_count(&self) -> usize {

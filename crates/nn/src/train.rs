@@ -141,6 +141,7 @@ pub fn train(
     let loss_fn = SoftmaxCrossEntropy::new();
     let n = x_train.rows();
     let mut order: Vec<usize> = (0..n).collect();
+    let mut step = 0u64;
 
     let mut report = TrainReport {
         best_train_accuracy: 0.0,
@@ -166,8 +167,17 @@ pub fn train(
             let logits = model.forward(&xb, true);
             let (loss, grad) = loss_fn.loss_and_grad(&logits, &targets);
             model.backward(&grad);
+            // Health sentinels run between backward and the optimizer step:
+            // read-only checks on the loss and the freshly-stored gradients
+            // (`HQNN_HEALTH=abort` makes a trip fatal before the bad step
+            // is applied).
+            if crate::health::enabled() {
+                crate::health::check_loss(loss, epoch, step);
+                crate::health::check_grad_norm(model.grad_norm(), epoch, step);
+            }
             model.apply_gradients(optimizer);
             telemetry::counter("nn.train_steps", 1);
+            step += 1;
             epoch_loss += loss;
             batches += 1;
         }

@@ -11,15 +11,20 @@
 //! perfbench --update-baseline        # rewrite bench/baseline.json from this run
 //! perfbench --filter qsim            # only benchmarks whose id contains "qsim"
 //! perfbench --trace-out trace.json   # Chrome trace + .folded flamegraph input
+//! perfbench --trend                  # no benches: report trajectories over the
+//!                                    # committed bench/history/ series
 //! ```
 
-use hqnn_perfbench::{compare, gate, has_regressions, missing_ids, run_suite, BenchReport, Scale};
+use hqnn_perfbench::{
+    compare, gate, has_regressions, missing_ids, run_suite, trend, BenchReport, Scale,
+};
 use hqnn_telemetry as telemetry;
 use std::path::PathBuf;
 use std::process::exit;
 
 const DEFAULT_OUT_DIR: &str = "bench";
 const DEFAULT_BASELINE: &str = "bench/baseline.json";
+const DEFAULT_HISTORY_DIR: &str = "bench/history";
 
 struct Args {
     smoke: bool,
@@ -32,6 +37,8 @@ struct Args {
     trace_out: Option<PathBuf>,
     log_json: Option<PathBuf>,
     quiet: bool,
+    trend: Option<PathBuf>,
+    trend_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -51,7 +58,10 @@ fn usage() -> ! {
          --update-baseline   rewrite the baseline (default bench/baseline.json) from this run\n\
          --trace-out PATH    write a Chrome trace JSON (+ PATH.folded flamegraph input)\n\
          --log-json PATH     mirror telemetry events to a JSONL file\n\
-         --quiet             suppress stderr progress (tables still print)"
+         --quiet             suppress stderr progress (tables still print)\n\
+         --trend [DIR]       run no benchmarks; render per-benchmark trajectories\n\
+         \x20                    from the BENCH_*.json series in DIR (default bench/history)\n\
+         --trend-out PATH    with --trend: also write the trajectory report to PATH"
     );
     exit(0);
 }
@@ -92,6 +102,8 @@ fn parse() -> Args {
         trace_out: None,
         log_json: None,
         quiet: false,
+        trend: None,
+        trend_out: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -111,6 +123,10 @@ fn parse() -> Args {
             "--log-json" => {
                 args.log_json = Some(PathBuf::from(required_value(&argv, &mut i, "--log-json")))
             }
+            "--trend" => args.trend = Some(optional_path(&argv, &mut i, DEFAULT_HISTORY_DIR)),
+            "--trend-out" => {
+                args.trend_out = Some(PathBuf::from(required_value(&argv, &mut i, "--trend-out")))
+            }
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -123,8 +139,42 @@ fn parse() -> Args {
     args
 }
 
+/// `--trend` mode: fold the committed history series into a trajectory
+/// report, print it (and optionally write it), run no benchmarks.
+fn run_trend(dir: &PathBuf, out: Option<&PathBuf>) -> ! {
+    let history = match trend::load_history(dir) {
+        Ok(history) => history,
+        Err(e) => {
+            eprintln!("could not read history dir {}: {e}", dir.display());
+            exit(2);
+        }
+    };
+    if history.is_empty() {
+        eprintln!(
+            "no BENCH_*.json entries in {}; run `make bench` to append one",
+            dir.display()
+        );
+        exit(2);
+    }
+    let trends = trend::trends(&history);
+    let rendered = trend::render(&trends);
+    print!("{rendered}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("could not write trend report {}: {e}", path.display());
+            exit(1);
+        }
+        println!("trend report written: {}", path.display());
+    }
+    exit(0);
+}
+
 fn main() {
     let args = parse();
+
+    if let Some(dir) = &args.trend {
+        run_trend(dir, args.trend_out.as_ref());
+    }
 
     if args.quiet {
         telemetry::set_level(telemetry::Level::Off);

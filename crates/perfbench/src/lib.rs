@@ -32,8 +32,10 @@ pub mod gate;
 pub mod report;
 pub mod stats;
 pub mod suite;
+pub mod trend;
 
 pub use gate::{compare, has_regressions, missing_ids, Comparison, GateConfig, Verdict};
 pub use report::{BenchReport, BenchResult, SCHEMA_VERSION};
 pub use stats::{summarize, Summary};
 pub use suite::{default_suite, run_suite, Benchmark, Scale, REFERENCE_BENCH};
+pub use trend::{load_history, trends, BenchTrend, TrendPoint};

@@ -462,6 +462,49 @@ pub fn default_suite() -> Vec<Benchmark> {
         });
     }
 
+    // -- telemetry.counter_hot / counter_hot_mutex: metric hot path -------
+    // Four workers hammering one counter name — the contention shape of
+    // `qsim.gate_applies` under the parallel runtime. The sharded path
+    // (production `counter()`) takes an uncontended per-thread lock; the
+    // `_mutex` twin routes the identical workload through the legacy
+    // global-mutex path, so the pair *is* the sharding win, measured.
+    {
+        const WORKERS: u64 = 4;
+        const INCS_PER_WORKER: u64 = 50_000;
+        suite.push(Benchmark {
+            id: "telemetry.counter_hot",
+            throughput_unit: "counter-incs",
+            ops_per_iter: WORKERS * INCS_PER_WORKER,
+            analytic_flops_per_iter: None,
+            heavy: false,
+            run: Box::new(move || {
+                hqnn_runtime::with_threads(WORKERS as usize, || {
+                    hqnn_runtime::par_map_range(WORKERS as usize, |_| {
+                        for _ in 0..INCS_PER_WORKER {
+                            telemetry::counter("perfbench.hot_ticks", 1);
+                        }
+                    })
+                });
+            }),
+        });
+        suite.push(Benchmark {
+            id: "telemetry.counter_hot_mutex",
+            throughput_unit: "counter-incs",
+            ops_per_iter: WORKERS * INCS_PER_WORKER,
+            analytic_flops_per_iter: None,
+            heavy: false,
+            run: Box::new(move || {
+                hqnn_runtime::with_threads(WORKERS as usize, || {
+                    hqnn_runtime::par_map_range(WORKERS as usize, |_| {
+                        for _ in 0..INCS_PER_WORKER {
+                            telemetry::counter_unsharded("perfbench.hot_mutex_ticks", 1);
+                        }
+                    })
+                });
+            }),
+        });
+    }
+
     suite
 }
 

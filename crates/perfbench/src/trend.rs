@@ -1,0 +1,270 @@
+//! Perf trajectories over the committed `bench/history/` series.
+//!
+//! Each PR appends the `BENCH_<stamp>.json` it measured to `bench/history/`
+//! (see `make bench`), so the repo carries its own performance record.
+//! `perfbench --trend` folds that series into a per-benchmark trajectory:
+//! the latest median, the delta against the previous entry, and a
+//! median ± MAD band over the whole series that flags drift a single
+//! noisy entry would hide.
+
+use crate::report::{stamp, BenchReport};
+use crate::stats;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// One benchmark's datapoint in one history entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendPoint {
+    /// `YYYYMMDD-HHMMSS` capture stamp of the entry.
+    pub stamp: String,
+    /// Git SHA the entry was measured at.
+    pub git_sha: String,
+    /// Median wall time per iteration in that entry.
+    pub median_ns: u64,
+    /// Median absolute deviation in that entry.
+    pub mad_ns: u64,
+}
+
+/// One benchmark's trajectory across the whole history series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchTrend {
+    /// Benchmark id (`crate.workload` convention, as in `BenchResult`).
+    pub id: String,
+    /// Chronological datapoints (entries that include this benchmark).
+    pub points: Vec<TrendPoint>,
+    /// Median of the series' medians.
+    pub series_median_ns: u64,
+    /// MAD of the series' medians (0 for a single entry).
+    pub series_mad_ns: u64,
+    /// Latest median relative to the previous entry, in percent
+    /// (positive = slower). `None` with fewer than two datapoints.
+    pub delta_vs_prev_pct: Option<f64>,
+    /// True when the latest median sits outside the series' noise band
+    /// (`series_median ± max(10%, 4×MAD)` — the regression gate's band
+    /// applied across history instead of against one baseline).
+    pub drifted: bool,
+}
+
+impl BenchTrend {
+    fn from_points(id: String, points: Vec<TrendPoint>) -> Self {
+        let medians: Vec<u64> = points.iter().map(|p| p.median_ns).collect();
+        let summary = stats::summarize(&medians);
+        // lint:allow(panic): trends() only builds a BenchTrend after pushing at least one point
+        let latest = *medians.last().expect("points are non-empty");
+        let delta_vs_prev_pct = (medians.len() >= 2).then(|| {
+            let prev = medians[medians.len() - 2].max(1) as f64;
+            (latest as f64 - prev) / prev * 100.0
+        });
+        let band = (summary.median_ns as f64 * 0.10).max(4.0 * summary.mad_ns as f64);
+        let drifted = (latest as f64 - summary.median_ns as f64).abs() > band;
+        Self {
+            id,
+            points,
+            series_median_ns: summary.median_ns,
+            series_mad_ns: summary.mad_ns,
+            delta_vs_prev_pct,
+            drifted,
+        }
+    }
+}
+
+/// Loads every `BENCH_*.json` under `dir`, sorted by file name — the
+/// `BENCH_<stamp>` convention makes lexicographic order chronological.
+/// Unreadable or schema-incompatible files fail loudly rather than being
+/// silently skipped: a corrupt history entry is a repo bug.
+pub fn load_history(dir: impl AsRef<Path>) -> io::Result<Vec<BenchReport>> {
+    let mut names: Vec<String> = std::fs::read_dir(dir.as_ref())?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().to_string_lossy().into_owned();
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+        })
+        .collect();
+    names.sort();
+    names
+        .iter()
+        .map(|name| BenchReport::load(dir.as_ref().join(name)))
+        .collect()
+}
+
+/// Folds a chronological report series into per-benchmark trajectories,
+/// ordered by benchmark id.
+pub fn trends(history: &[BenchReport]) -> Vec<BenchTrend> {
+    let mut by_id: BTreeMap<String, Vec<TrendPoint>> = BTreeMap::new();
+    for report in history {
+        let stamp = stamp(report.manifest.timestamp_unix);
+        for result in &report.results {
+            by_id.entry(result.id.clone()).or_default().push(TrendPoint {
+                stamp: stamp.clone(),
+                git_sha: report.manifest.git_sha.clone(),
+                median_ns: result.median_ns,
+                mad_ns: result.mad_ns,
+            });
+        }
+    }
+    by_id
+        .into_iter()
+        .map(|(id, points)| BenchTrend::from_points(id, points))
+        .collect()
+}
+
+/// Renders the trajectory table. One row per benchmark: series length,
+/// first/previous/latest medians, delta vs previous, series median ± MAD,
+/// and a `drift` marker when the latest entry left the noise band.
+pub fn render(trends: &[BenchTrend]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>4} {:>12} {:>12} {:>12} {:>9} {:>12} {:>10}  {}\n",
+        "benchmark", "n", "first", "prev", "latest", "Δprev", "series-med", "mad", "flags"
+    ));
+    for t in trends {
+        // lint:allow(panic): a BenchTrend always carries at least one point
+        let first = t.points.first().expect("non-empty");
+        // lint:allow(panic): a BenchTrend always carries at least one point
+        let latest = t.points.last().expect("non-empty");
+        let prev = (t.points.len() >= 2).then(|| t.points[t.points.len() - 2].median_ns);
+        out.push_str(&format!(
+            "{:<28} {:>4} {:>12} {:>12} {:>12} {:>9} {:>12} {:>10}  {}\n",
+            t.id,
+            t.points.len(),
+            fmt_ns(first.median_ns),
+            prev.map(fmt_ns).unwrap_or_else(|| "-".to_string()),
+            fmt_ns(latest.median_ns),
+            t.delta_vs_prev_pct
+                .map(|d| format!("{d:+.1}%"))
+                .unwrap_or_else(|| "-".to_string()),
+            fmt_ns(t.series_median_ns),
+            fmt_ns(t.series_mad_ns),
+            if t.drifted { "drift" } else { "" },
+        ));
+    }
+    if !trends.is_empty() {
+        let entries = trends.iter().map(|t| t.points.len()).max().unwrap_or(0);
+        let first_stamp = trends
+            .iter()
+            .filter_map(|t| t.points.first())
+            .map(|p| p.stamp.as_str())
+            .min()
+            .unwrap_or("-");
+        let last_stamp = trends
+            .iter()
+            .filter_map(|t| t.points.last())
+            .map(|p| p.stamp.as_str())
+            .max()
+            .unwrap_or("-");
+        out.push_str(&format!(
+            "\n{entries} history entries, {first_stamp} → {last_stamp}\n"
+        ));
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::BenchResult;
+    use crate::stats::Summary;
+    use hqnn_telemetry::RunManifest;
+
+    fn report(timestamp: u64, medians: &[(&str, u64)]) -> BenchReport {
+        let mut manifest = RunManifest::capture("trend-test");
+        manifest.timestamp_unix = timestamp;
+        let results = medians
+            .iter()
+            .map(|&(id, median_ns)| {
+                BenchResult::from_summary(
+                    id,
+                    1,
+                    Summary {
+                        iters: 5,
+                        median_ns,
+                        mad_ns: median_ns / 50,
+                        min_ns: median_ns,
+                        max_ns: median_ns,
+                        mean_ns: median_ns,
+                    },
+                    1,
+                    "ops",
+                    None,
+                )
+            })
+            .collect();
+        BenchReport::new(manifest, results)
+    }
+
+    #[test]
+    fn trends_track_series_and_deltas() {
+        let history = vec![
+            report(1_000, &[("a.x", 100_000), ("a.y", 900)]),
+            report(2_000, &[("a.x", 110_000), ("a.y", 900)]),
+            report(3_000, &[("a.x", 220_000), ("a.y", 900)]),
+        ];
+        let trends = trends(&history);
+        assert_eq!(trends.len(), 2);
+        let ax = &trends[0];
+        assert_eq!(ax.id, "a.x");
+        assert_eq!(ax.points.len(), 3);
+        assert_eq!(ax.series_median_ns, 110_000);
+        let delta = ax.delta_vs_prev_pct.unwrap();
+        assert!((delta - 100.0).abs() < 1e-9, "{delta}");
+        assert!(ax.drifted, "2× jump must leave the noise band");
+        let ay = &trends[1];
+        assert_eq!(ay.delta_vs_prev_pct, Some(0.0));
+        assert!(!ay.drifted);
+    }
+
+    #[test]
+    fn single_entry_series_is_reported_without_delta() {
+        let trends = trends(&[report(1_000, &[("solo.bench", 5_000)])]);
+        assert_eq!(trends.len(), 1);
+        assert_eq!(trends[0].delta_vs_prev_pct, None);
+        assert!(!trends[0].drifted);
+        let rendered = render(&trends);
+        assert!(rendered.contains("solo.bench"), "{rendered}");
+        assert!(rendered.contains("5.0µs"), "{rendered}");
+    }
+
+    #[test]
+    fn benches_missing_from_some_entries_still_fold() {
+        let history = vec![
+            report(1_000, &[("old.bench", 10), ("kept.bench", 20)]),
+            report(2_000, &[("kept.bench", 21), ("new.bench", 30)]),
+        ];
+        let trends = trends(&history);
+        let by_id: Vec<&str> = trends.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(by_id, ["kept.bench", "new.bench", "old.bench"]);
+        assert_eq!(trends[0].points.len(), 2);
+        assert_eq!(trends[1].points.len(), 1);
+    }
+
+    #[test]
+    fn history_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("hqnn-trend-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let early = report(86_400, &[("a.x", 100)]);
+        let late = report(2 * 86_400, &[("a.x", 120)]);
+        // Written out of order; the stamped names must restore chronology.
+        late.save(dir.join(late.file_name())).unwrap();
+        early.save(dir.join(early.file_name())).unwrap();
+        std::fs::write(dir.join("README.md"), "not a report").unwrap();
+
+        let history = load_history(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(history.len(), 2, "non-BENCH files are ignored");
+        assert_eq!(history[0].manifest.timestamp_unix, 86_400);
+        let trends = trends(&history);
+        assert_eq!(trends[0].delta_vs_prev_pct, Some(20.0));
+    }
+}

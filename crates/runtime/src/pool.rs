@@ -77,6 +77,11 @@ where
                         .unwrap_or_else(|e| e.into_inner())
                         .push((chunk, part));
                 });
+                // Merge this worker's metric shard before the scope joins,
+                // so a snapshot taken right after par_map returns already
+                // sees every worker counter (thread exit would drain too,
+                // but only after TLS destructors run).
+                hqnn_telemetry::drain_local_metrics();
             });
         }
     });

@@ -1,0 +1,91 @@
+//! Snapshot determinism of sharded telemetry metrics under the parallel
+//! runtime: counters incremented inside `par_map_range` workers merge into
+//! a snapshot that is bitwise identical to a sequential run, at every
+//! thread budget — the metric analogue of the runtime's bitwise-result
+//! guarantee.
+//!
+//! These tests mutate the process-global telemetry registry, so they
+//! serialise on a mutex and diff only their own `shardtest.*` names (the
+//! runtime's own `runtime.par_*` counters differ between sequential and
+//! parallel legs by design).
+
+use hqnn_telemetry as telemetry;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+const NAMES: [&str; 3] = ["shardtest.alpha_ticks", "shardtest.beta_ticks", "shardtest.gamma_ticks"];
+
+/// Counters/gauges under the test namespace, with f64 gauges as raw bits so
+/// equality is bitwise, not approximate.
+fn observed() -> (BTreeMap<String, u64>, BTreeMap<String, u64>) {
+    let snap = telemetry::snapshot();
+    let counters = snap
+        .counters
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("shardtest."))
+        .collect();
+    let gauges = snap
+        .gauges
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("shardtest."))
+        .map(|(k, v)| (k, v.to_bits()))
+        .collect();
+    (counters, gauges)
+}
+
+/// One workload item: which counter to bump, by how much, and a gauge level.
+fn apply_op(op: &(usize, u8, u32)) {
+    let (which, delta, level) = *op;
+    telemetry::counter(NAMES[which % NAMES.len()], delta as u64);
+    telemetry::gauge_max("shardtest.peak_level", level as f64);
+}
+
+proptest! {
+    // Each case resets global telemetry state; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn merged_snapshot_is_bitwise_equal_to_sequential(
+        ops in proptest::collection::vec(
+            (0usize..NAMES.len(), 0u8..50, 0u32..1000), 1..120),
+    ) {
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Sequential reference: single thread, everything on one shard.
+        telemetry::reset();
+        telemetry::set_level(telemetry::Level::Off);
+        hqnn_runtime::with_threads(1, || {
+            hqnn_runtime::par_map(&ops, |_, op| apply_op(op))
+        });
+        let reference = observed();
+
+        // The satellite's thread budgets: serial, even split, odd split.
+        for threads in [1usize, 2, 7] {
+            telemetry::reset();
+            telemetry::set_level(telemetry::Level::Off);
+            hqnn_runtime::with_threads(threads, || {
+                hqnn_runtime::par_map(&ops, |_, op| apply_op(op))
+            });
+            // Workers drained their shards at scope exit; the snapshot
+            // right after par_map must already be complete.
+            prop_assert_eq!(&observed(), &reference, "threads={}", threads);
+        }
+        telemetry::reset();
+    }
+}
+
+#[test]
+fn worker_counters_visible_immediately_after_par_map() {
+    let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset();
+    telemetry::set_level(telemetry::Level::Off);
+    hqnn_runtime::with_threads(7, || {
+        hqnn_runtime::par_map_range(100, |_| telemetry::counter("shardtest.immediate_ticks", 3))
+    });
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counters["shardtest.immediate_ticks"], 300);
+    telemetry::reset();
+}

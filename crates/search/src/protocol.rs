@@ -247,6 +247,21 @@ pub fn evaluate_combo(
             &config.train,
             &mut rng,
         );
+        // Attribute divergence to the exact (combo, run) pair: the health
+        // sentinels already reported each bad step, this names the victim
+        // so frontier readers can discount it without replaying the search.
+        if !report.final_train_loss.is_finite() {
+            telemetry::event(
+                telemetry::Level::Error,
+                "search.combo_diverged",
+                &[
+                    ("model", spec.label().into()),
+                    ("run", run.into()),
+                    ("salt", stream_salt.into()),
+                    ("final_train_loss", report.final_train_loss.into()),
+                ],
+            );
+        }
         runs.push(RunSummary {
             train_accuracy: report.best_train_accuracy,
             val_accuracy: report.best_val_accuracy,

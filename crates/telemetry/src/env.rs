@@ -55,7 +55,35 @@ pub const REGISTRY: &[EnvVar] = &[
         purpose: "opt-in gate fusion for forward circuit execution",
         accepted: "1|true|on to enable; anything else (or unset) disables",
     },
+    EnvVar {
+        name: "HQNN_HEALTH",
+        purpose: "training-health sentinel action on NaN/Inf loss or exploding gradients",
+        accepted: "off|warn|abort (default warn)",
+    },
 ];
+
+/// What the training-health sentinels do when a monitor trips
+/// (`HQNN_HEALTH`). The checks themselves never alter training numerics —
+/// the action only controls whether a violation is reported or fatal.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HealthAction {
+    /// Monitors disabled entirely.
+    Off,
+    /// Emit an `*.health_*` error event and keep training (default).
+    Warn,
+    /// Emit the event, then panic — fail fast instead of polluting results.
+    Abort,
+}
+
+/// Parses an `HQNN_HEALTH` value, or `None` when invalid.
+pub fn parse_health(raw: &str) -> Option<HealthAction> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Some(HealthAction::Off),
+        "warn" => Some(HealthAction::Warn),
+        "abort" => Some(HealthAction::Abort),
+        _ => None,
+    }
+}
 
 /// `true` when `name` is declared in [`REGISTRY`].
 pub fn is_registered(name: &str) -> bool {
@@ -187,12 +215,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_declares_the_three_knobs() {
+    fn registry_declares_the_known_knobs() {
         assert!(is_registered("HQNN_LOG"));
         assert!(is_registered("HQNN_THREADS"));
         assert!(is_registered("HQNN_FUSE"));
+        assert!(is_registered("HQNN_HEALTH"));
         assert!(!is_registered("HQNN_THREAD"));
         assert!(REGISTRY.iter().all(|v| v.name.starts_with("HQNN_")));
+    }
+
+    #[test]
+    fn health_parsing_accepts_documented_spellings() {
+        assert_eq!(parse_health("off"), Some(HealthAction::Off));
+        assert_eq!(parse_health("0"), Some(HealthAction::Off));
+        assert_eq!(parse_health("warn"), Some(HealthAction::Warn));
+        assert_eq!(parse_health(" ABORT "), Some(HealthAction::Abort));
+        assert_eq!(parse_health("panic"), None);
+        assert_eq!(parse_health(""), None);
     }
 
     #[test]
@@ -220,6 +259,8 @@ mod tests {
         assert_eq!(closest_registered("HQNN_THREAD"), Some("HQNN_THREADS"));
         assert_eq!(closest_registered("HQNN_FUS"), Some("HQNN_FUSE"));
         assert_eq!(closest_registered("HQNN_LGO"), Some("HQNN_LOG"));
+        // The satellite case from the issue: a dropped letter still maps home.
+        assert_eq!(closest_registered("HQNN_HEALT"), Some("HQNN_HEALTH"));
         assert_eq!(closest_registered("HQNN_COMPLETELY_ELSE"), None);
     }
 

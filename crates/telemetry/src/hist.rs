@@ -1,0 +1,207 @@
+//! Bounded log-linear duration histograms (HDR-style).
+//!
+//! Values are bucketed into 64 linear sub-buckets per power-of-two octave,
+//! so any recorded value lands in a bucket whose width is at most 1/64 of
+//! its lower bound. Reported quantiles are bucket *upper* bounds, giving the
+//! guarantee `true_quantile <= reported <= true_quantile * (1 + 1/64)` —
+//! exact-bounded error with O(log range) memory, no retained samples, and a
+//! merge that is a plain bucket-wise sum (commutative and associative, so
+//! shard merge order cannot change the result).
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 6;
+/// Linear sub-buckets per octave; also the inverse relative error bound.
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Worst-case relative error of a reported quantile: `1 / 64`.
+pub const RELATIVE_ERROR: f64 = 1.0 / SUB as f64;
+
+/// A log-linear histogram over `u64` values (nanoseconds in practice).
+///
+/// Bucket counts grow on demand: a histogram never allocates past the
+/// octave of its largest recorded value (~4.5 KB of `u64` counts even for
+/// hour-long spans measured in nanoseconds).
+#[derive(Clone, Debug, Default)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+}
+
+/// Bucket index for `value`. Values below `SUB` get exact unit buckets;
+/// above that, each octave splits into `SUB` linear sub-buckets.
+fn index_of(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros(); // exp >= SUB_BITS here
+    let block = (exp - SUB_BITS + 1) as usize;
+    let offset = ((value >> (exp - SUB_BITS)) & (SUB - 1)) as usize;
+    block * SUB as usize + offset
+}
+
+/// Inclusive upper bound of bucket `index` (the value reported for any
+/// sample that landed there).
+fn bucket_high(index: usize) -> u64 {
+    let block = index / SUB as usize;
+    let offset = (index % SUB as usize) as u64;
+    if block == 0 {
+        return offset;
+    }
+    let shift = (block - 1) as u32;
+    // Lower bound of the bucket plus (width − 1); summed in this order so
+    // the top octave (values near `u64::MAX`) cannot overflow.
+    ((SUB + offset) << shift) + ((1u64 << shift) - 1)
+}
+
+impl LogHistogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = index_of(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`, reported as the containing
+    /// bucket's upper bound. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(idx);
+            }
+        }
+        bucket_high(self.counts.len().saturating_sub(1))
+    }
+
+    /// Adds every bucket of `other` into `self` (bucket-wise sum).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &c) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += c;
+        }
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile for comparison.
+    fn exact_quantile(samples: &mut [u64], q: f64) -> u64 {
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1]
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        // Every value below SUB has a dedicated unit bucket.
+        for v in 0..SUB {
+            let idx = index_of(v);
+            assert_eq!(bucket_high(idx), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        let probes = [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1_000,
+            4_095,
+            4_096,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let idx = index_of(v);
+            let high = bucket_high(idx);
+            assert!(high >= v, "bucket high {high} below value {v}");
+            // Bound: high <= v * (1 + 1/SUB), checked without overflow.
+            assert!(
+                high - v <= v / SUB,
+                "value {v}: bucket high {high} overshoots error bound"
+            );
+        }
+    }
+
+    #[test]
+    fn indices_are_monotone_in_value() {
+        let mut prev = 0;
+        for v in 0..10_000u64 {
+            let idx = index_of(v);
+            assert!(idx >= prev, "index regressed at {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_within_bound() {
+        // Deterministic pseudo-random samples over several octaves.
+        let mut samples: Vec<u64> = (0..5_000u64)
+            .map(|i| i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) % 1_000_000)
+            .collect();
+        let mut hist = LogHistogram::default();
+        for &s in &samples {
+            hist.record(s);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&mut samples, q);
+            let approx = hist.quantile(q);
+            assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+            assert!(
+                approx - exact <= exact / SUB + 1,
+                "q={q}: {approx} outside error bound of exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        let mut combined = LogHistogram::default();
+        for v in [1u64, 70, 5_000, 123_456] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [3u64, 70, 999_999] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(a.quantile(q), combined.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let hist = LogHistogram::default();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.quantile(0.5), 0);
+    }
+}

@@ -9,9 +9,13 @@
 //! - **Spans** ([`span`]): RAII-guarded hierarchical timers. Every span
 //!   records into a global registry keyed by its full path (e.g.
 //!   `repro/train/epoch`), aggregating call count, total/min/max time, and
-//!   p50/p99 latency from a bounded reservoir.
+//!   p50/p95/p99 latency from a bounded log-linear histogram (quantile
+//!   error ≤ 1/64, no retained samples — see [`hist`]).
 //! - **Counters and gauges** ([`counter`], [`gauge`]): cheap named totals
-//!   (`qsim.gate_applies`, `search.combos_evaluated`, …).
+//!   (`qsim.gate_applies`, `search.combos_evaluated`, …). Counters and
+//!   [`gauge_max`] high-water marks write to per-thread shards, merged
+//!   deterministically (sum / max) at [`snapshot`], [`flush`], and thread
+//!   exit — parallel hot loops never contend on a global lock.
 //! - **Events** ([`event`]): leveled, structured records dispatched to
 //!   pluggable [`Sink`]s — a human-readable stderr logger (level set by the
 //!   `HQNN_LOG` env var: `off|error|info|debug|trace`), a JSONL file sink for
@@ -40,6 +44,7 @@
 
 pub mod env;
 mod event;
+pub mod hist;
 pub mod manifest;
 mod registry;
 mod report;
@@ -148,11 +153,50 @@ pub fn add_memory_sink() -> MemorySink {
     mem
 }
 
-/// Flushes all sinks (call before reading a JSONL file mid-run).
+/// Flushes metrics and sinks (call before reading a JSONL file mid-run and
+/// before process exit).
+///
+/// Ordering matters: per-thread metric shards are drained into the base
+/// registry *first*, then a `telemetry.metrics` event carrying the merged
+/// counters/gauges is emitted to recording sinks, and only then are the
+/// sinks flushed — so a counter incremented on a worker thread is visible
+/// in the JSONL file even if that worker never exited.
 pub fn flush() {
+    registry::global().drain_all_shards();
+    emit_metrics_event();
     for sink in sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter_mut() {
         sink.flush();
     }
+}
+
+/// Emits one debug-level `telemetry.metrics` event with every counter and
+/// gauge as a field (sorted by name, counters first). Skipped when there is
+/// nothing to report, so event-only runs see no extra lines.
+fn emit_metrics_event() {
+    let snap = snapshot();
+    if snap.counters.is_empty() && snap.gauges.is_empty() {
+        return;
+    }
+    let mut counters: Vec<_> = snap.counters.into_iter().collect();
+    counters.sort();
+    let mut gauges: Vec<_> = snap.gauges.into_iter().collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    let fields: Vec<(&str, FieldValue)> = counters
+        .iter()
+        .map(|(k, v)| (k.as_str(), FieldValue::U64(*v)))
+        .chain(gauges.iter().map(|(k, v)| (k.as_str(), FieldValue::F64(*v))))
+        .collect();
+    event(Level::Debug, "telemetry.metrics", &fields);
+}
+
+/// Drains the calling thread's metric shard into the global registry.
+///
+/// Parallel workers call this at the end of their scope so their deltas are
+/// merged before the scope's owner reads a snapshot; it also runs
+/// automatically when a thread exits. Calling it on a thread with no shard
+/// is a no-op.
+pub fn drain_local_metrics() {
+    registry::drain_local();
 }
 
 /// Emits a structured event. Filtered sinks (stderr) drop events above the
@@ -191,8 +235,13 @@ pub fn record_duration(path: &str, duration: Duration) {
 }
 
 /// Adds `delta` to the named counter.
+///
+/// The increment lands in the calling thread's private shard (uncontended
+/// even with many parallel workers) and is merged — by exact integer sum,
+/// so the result is schedule-independent — into [`snapshot`]s, [`flush`],
+/// and thread exit.
 pub fn counter(name: &str, delta: u64) {
-    registry::global().add_counter(name, delta);
+    registry::add_counter_sharded(name, delta);
     if enabled(Level::Trace) {
         event(
             Level::Trace,
@@ -200,6 +249,15 @@ pub fn counter(name: &str, delta: u64) {
             &[("name", name.into()), ("delta", delta.into())],
         );
     }
+}
+
+/// Adds `delta` to the named counter through the contended global-mutex
+/// path, bypassing the per-thread shards. Exists only so `perfbench` can
+/// measure the sharded path against the legacy one; production code should
+/// always use [`counter`].
+#[doc(hidden)]
+pub fn counter_unsharded(name: &str, delta: u64) {
+    registry::global().add_counter(name, delta);
 }
 
 /// Sets the named gauge to `value` (last write wins).
@@ -224,7 +282,7 @@ pub fn gauge(name: &str, value: f64) {
 /// [`reset`]/startup). Race-free under concurrent writers: whatever the
 /// interleaving, the stored value is the maximum ever observed.
 pub fn gauge_max(name: &str, value: f64) {
-    registry::global().set_gauge_max(name, value);
+    registry::set_gauge_max_sharded(name, value);
     if enabled(Level::Trace) {
         event(
             Level::Trace,

@@ -1,13 +1,29 @@
 //! Global aggregation: span timings, counters, gauges.
+//!
+//! # Sharded metric cells
+//!
+//! Counters and max-gauges are the workspace's hottest telemetry path
+//! (`qsim.gate_applies` ticks once per gate). Routing every increment
+//! through one global mutex makes parallel workers contend, so each thread
+//! instead owns a private *shard* — registered in a global list on first
+//! use, drained back into the base maps when the thread exits (worker
+//! threads additionally drain at scope exit via
+//! [`crate::drain_local_metrics`]). The hot path locks only its own shard's
+//! uncontended mutex.
+//!
+//! Merging is deterministic regardless of thread count or schedule:
+//! counters merge by sum and max-gauges by max — both commutative and
+//! associative — and [`Registry::snapshot`] holds the shard-list lock while
+//! merging, so a snapshot is an atomic point-in-time view and stays
+//! byte-identical at any `HQNN_THREADS`. Plain last-write-wins gauges stay
+//! on the base map: their value is schedule-dependent by definition, so
+//! sharding could only make them *less* reproducible.
 
+use crate::hist::LogHistogram;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
-
-/// Cap on retained per-span samples; beyond it, reservoir sampling keeps a
-/// statistically representative subset so hot spans (millions of calls)
-/// stay O(1) in memory while percentiles remain meaningful.
-const RESERVOIR_CAP: usize = 4096;
 
 #[derive(Clone, Debug, Default)]
 struct SpanAgg {
@@ -15,10 +31,9 @@ struct SpanAgg {
     total_ns: u128,
     min_ns: u64,
     max_ns: u64,
-    /// Sample reservoir (nanoseconds).
-    samples: Vec<u64>,
-    /// Deterministic stream state for reservoir replacement decisions.
-    rng_state: u64,
+    /// Log-linear latency histogram (nanoseconds): bounded memory, quantile
+    /// error ≤ 1/64 — see [`crate::hist`].
+    hist: LogHistogram,
 }
 
 impl SpanAgg {
@@ -32,37 +47,45 @@ impl SpanAgg {
         }
         self.count += 1;
         self.total_ns += ns as u128;
-        if self.samples.len() < RESERVOIR_CAP {
-            self.samples.push(ns);
-        } else {
-            // Algorithm R with a SplitMix64 stream.
-            self.rng_state = self.rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut x = self.rng_state;
-            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            x ^= x >> 31;
-            let slot = ((x as u128 * self.count as u128) >> 64) as u64;
-            if (slot as usize) < RESERVOIR_CAP {
-                self.samples[slot as usize] = ns;
-            }
+        self.hist.record(ns);
+    }
+
+    fn stats(&self) -> SpanStats {
+        // Quantiles are bucket upper bounds; clamping into [min, max] keeps
+        // them inside the observed range (and makes q=1.0 exactly `max`).
+        let q = |q: f64| {
+            Duration::from_nanos(self.hist.quantile(q).clamp(self.min_ns, self.max_ns))
+        };
+        SpanStats {
+            count: self.count,
+            total: Duration::from_nanos(self.total_ns.min(u64::MAX as u128) as u64),
+            min: Duration::from_nanos(self.min_ns),
+            max: Duration::from_nanos(self.max_ns),
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
         }
     }
 }
 
-/// Aggregated statistics for one span path.
+/// Aggregated statistics for one span path. Percentiles come from a
+/// log-linear histogram and overshoot the exact sample quantile by at most
+/// 1/64 (≈1.6%).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SpanStats {
     pub count: u64,
     pub total: Duration,
     pub min: Duration,
     pub max: Duration,
-    /// Median latency (from the sample reservoir).
+    /// Median latency.
     pub p50: Duration,
-    /// 99th-percentile latency (from the sample reservoir).
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
     pub p99: Duration,
 }
 
-/// A point-in-time copy of the registry.
+/// A point-in-time copy of the registry, shard deltas included.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
     /// Keyed by full span path, e.g. `repro/train/epoch`.
@@ -74,11 +97,53 @@ pub struct Snapshot {
 /// Alias kept for API clarity in downstream code.
 pub type CounterSnapshot = HashMap<String, u64>;
 
+/// FNV-1a. Metric names are short trusted literals, so the shard hot path
+/// trades SipHash's DoS resistance for ~2× cheaper hashing. The base maps
+/// keep the default hasher — they are cold and hold externally-visible
+/// state.
+#[derive(Default)]
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<V> = HashMap<String, V, BuildHasherDefault<Fnv1a>>;
+
+/// One thread's private metric cell.
+#[derive(Default)]
+struct ShardData {
+    counters: FnvMap<u64>,
+    /// High-water-mark gauges ([`crate::gauge_max`]); merged by max.
+    max_gauges: FnvMap<f64>,
+}
+
+type Shard = Mutex<ShardData>;
+
 #[derive(Default)]
 pub(crate) struct Registry {
     spans: Mutex<HashMap<String, SpanAgg>>,
     counters: Mutex<HashMap<String, u64>>,
     gauges: Mutex<HashMap<String, f64>>,
+    /// Live per-thread shards. Snapshot/drain hold this lock while touching
+    /// the shards, which serialises them against thread-exit drains — a
+    /// snapshot never misses or double-counts a concurrently-retiring shard.
+    shards: Mutex<Vec<Arc<Shard>>>,
 }
 
 pub(crate) fn global() -> &'static Registry {
@@ -86,14 +151,74 @@ pub(crate) fn global() -> &'static Registry {
     REGISTRY.get_or_init(Registry::default)
 }
 
-/// Nearest-rank percentile on an unsorted sample set. `q` in `[0, 1]`.
-pub(crate) fn percentile_ns(samples: &mut [u64], q: f64) -> u64 {
-    if samples.is_empty() {
-        return 0;
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Owns one thread's registration in the shard list; dropping (thread exit)
+/// drains the shard into the base maps and deregisters it.
+struct ShardHandle {
+    shard: Arc<Shard>,
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        global().retire_shard(&self.shard);
     }
-    samples.sort_unstable();
-    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
-    samples[rank - 1]
+}
+
+thread_local! {
+    static LOCAL_SHARD: ShardHandle = global().register_shard();
+}
+
+/// Runs `f` on this thread's shard, registering one on first use. Returns
+/// `None` when thread-local storage is gone (thread teardown) — callers
+/// fall back to the base maps.
+fn with_local_shard<R>(f: impl FnOnce(&mut ShardData) -> R) -> Option<R> {
+    LOCAL_SHARD
+        .try_with(|handle| f(&mut lock(&handle.shard)))
+        .ok()
+}
+
+/// Adds `delta` to `name` in this thread's shard (base map during teardown).
+/// The hit path (every call after a name's first) is allocation-free: the
+/// `String` key is only materialised when the slot doesn't exist yet.
+pub(crate) fn add_counter_sharded(name: &str, delta: u64) {
+    let direct = with_local_shard(|data| {
+        if let Some(slot) = data.counters.get_mut(name) {
+            *slot += delta;
+        } else {
+            data.counters.insert(name.to_string(), delta);
+        }
+    });
+    if direct.is_none() {
+        global().add_counter(name, delta);
+    }
+}
+
+/// Raises `name` to `value` in this thread's shard (base map on teardown).
+/// Allocation-free on the hit path, like [`add_counter_sharded`].
+pub(crate) fn set_gauge_max_sharded(name: &str, value: f64) {
+    let direct = with_local_shard(|data| {
+        if let Some(slot) = data.max_gauges.get_mut(name) {
+            *slot = slot.max(value);
+        } else {
+            data.max_gauges.insert(name.to_string(), value);
+        }
+    });
+    if direct.is_none() {
+        global().set_gauge_max(name, value);
+    }
+}
+
+/// Drains this thread's shard into the base maps without deregistering it
+/// (the thread keeps recording afterwards).
+pub(crate) fn drain_local() {
+    let _ = LOCAL_SHARD.try_with(|handle| {
+        let reg = global();
+        let _shards = lock(&reg.shards); // serialise vs snapshot
+        reg.merge_shard_into_base(&handle.shard);
+    });
 }
 
 impl Registry {
@@ -101,20 +226,18 @@ impl Registry {
     /// emit one example `span` event per path even below debug level.
     pub(crate) fn record_span(&self, path: &str, duration: Duration) -> bool {
         let ns = duration.as_nanos().min(u64::MAX as u128) as u64;
-        let mut spans = self.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut spans = lock(&self.spans);
         let agg = spans.entry(path.to_string()).or_default();
         agg.record(ns);
         agg.count == 1
     }
 
     pub(crate) fn add_counter(&self, name: &str, delta: u64) {
-        let mut counters = self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        *counters.entry(name.to_string()).or_insert(0) += delta;
+        *lock(&self.counters).entry(name.to_string()).or_insert(0) += delta;
     }
 
     pub(crate) fn set_gauge(&self, name: &str, value: f64) {
-        let mut gauges = self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        gauges.insert(name.to_string(), value);
+        lock(&self.gauges).insert(name.to_string(), value);
     }
 
     /// Raises the gauge to `value` if it is higher than the stored value
@@ -122,53 +245,109 @@ impl Registry {
     /// is order-independent, so concurrent writers race-freely converge on
     /// the same high-water mark.
     pub(crate) fn set_gauge_max(&self, name: &str, value: f64) {
-        let mut gauges = self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        gauges
+        lock(&self.gauges)
             .entry(name.to_string())
             .and_modify(|v| *v = v.max(value))
             .or_insert(value);
     }
 
+    fn register_shard(&self) -> ShardHandle {
+        let shard = Arc::new(Mutex::new(ShardData::default()));
+        lock(&self.shards).push(Arc::clone(&shard));
+        ShardHandle { shard }
+    }
+
+    /// Empties `shard` into the base maps. Callers must hold the
+    /// shard-list lock (or be inside `retire_shard`, which does).
+    fn merge_shard_into_base(&self, shard: &Arc<Shard>) {
+        let drained = std::mem::take(&mut *lock(shard));
+        if !drained.counters.is_empty() {
+            let mut counters = lock(&self.counters);
+            for (name, delta) in drained.counters {
+                *counters.entry(name).or_insert(0) += delta;
+            }
+        }
+        if !drained.max_gauges.is_empty() {
+            let mut gauges = lock(&self.gauges);
+            for (name, value) in drained.max_gauges {
+                gauges
+                    .entry(name)
+                    .and_modify(|v| *v = v.max(value))
+                    .or_insert(value);
+            }
+        }
+    }
+
+    /// Thread-exit path: drain and deregister in one critical section.
+    fn retire_shard(&self, shard: &Arc<Shard>) {
+        let mut shards = lock(&self.shards);
+        self.merge_shard_into_base(shard);
+        shards.retain(|s| !Arc::ptr_eq(s, shard));
+    }
+
+    /// Drains every live shard into the base maps (threads stay registered
+    /// and keep recording). Used by [`crate::flush`] so exported metrics
+    /// include in-flight worker deltas.
+    pub(crate) fn drain_all_shards(&self) {
+        let shards = lock(&self.shards);
+        for shard in shards.iter() {
+            self.merge_shard_into_base(shard);
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> Snapshot {
-        let spans = self
-            .spans
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        // Shard-list lock held for the whole merge: atomic point in time.
+        let shards = lock(&self.shards);
+        let mut counters = lock(&self.counters).clone();
+        let mut gauges = lock(&self.gauges).clone();
+        for shard in shards.iter() {
+            let data = lock(shard);
+            for (name, delta) in &data.counters {
+                *counters.entry(name.clone()).or_insert(0) += delta;
+            }
+            for (name, value) in &data.max_gauges {
+                gauges
+                    .entry(name.clone())
+                    .and_modify(|v| *v = v.max(*value))
+                    .or_insert(*value);
+            }
+        }
+        let spans = lock(&self.spans)
             .iter()
-            .map(|(path, agg)| {
-                let mut samples = agg.samples.clone();
-                let p50 = percentile_ns(&mut samples, 0.50);
-                let p99 = percentile_ns(&mut samples, 0.99);
-                (
-                    path.clone(),
-                    SpanStats {
-                        count: agg.count,
-                        total: Duration::from_nanos(agg.total_ns.min(u64::MAX as u128) as u64),
-                        min: Duration::from_nanos(agg.min_ns),
-                        max: Duration::from_nanos(agg.max_ns),
-                        p50: Duration::from_nanos(p50),
-                        p99: Duration::from_nanos(p99),
-                    },
-                )
-            })
+            .map(|(path, agg)| (path.clone(), agg.stats()))
             .collect();
         Snapshot {
             spans,
-            counters: self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
-            gauges: self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
+            counters,
+            gauges,
         }
     }
 
     pub(crate) fn clear(&self) {
-        self.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
-        self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
-        self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        let shards = lock(&self.shards);
+        for shard in shards.iter() {
+            *lock(shard) = ShardData::default();
+        }
+        lock(&self.spans).clear();
+        lock(&self.counters).clear();
+        lock(&self.gauges).clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Nearest-rank percentile on an unsorted sample set. `q` in `[0, 1]`.
+    /// The exact reference that histogram quantiles are tested against.
+    fn percentile_ns(samples: &mut [u64], q: f64) -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1]
+    }
 
     #[test]
     fn percentile_nearest_rank() {
@@ -182,14 +361,30 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_keeps_bounded_memory() {
+    fn span_agg_quantiles_respect_error_bound() {
         let mut agg = SpanAgg::default();
-        for i in 0..(RESERVOIR_CAP as u64 * 3) {
-            agg.record(i);
+        let mut samples: Vec<u64> = (0..20_000u64)
+            .map(|i| i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) % 10_000_000)
+            .collect();
+        for &s in &samples {
+            agg.record(s);
         }
-        assert_eq!(agg.count, RESERVOIR_CAP as u64 * 3);
-        assert_eq!(agg.samples.len(), RESERVOIR_CAP);
-        assert_eq!(agg.min_ns, 0);
-        assert_eq!(agg.max_ns, RESERVOIR_CAP as u64 * 3 - 1);
+        let stats = agg.stats();
+        assert_eq!(stats.count, 20_000);
+        for (q, reported) in [(0.50, stats.p50), (0.95, stats.p95), (0.99, stats.p99)] {
+            let exact = percentile_ns(&mut samples, q);
+            let reported = reported.as_nanos() as u64;
+            assert!(reported >= exact, "q={q}: {reported} < exact {exact}");
+            assert!(
+                reported - exact <= exact / 64 + 1,
+                "q={q}: {reported} outside 1/64 bound of {exact}"
+            );
+        }
+        assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99);
+        assert!(stats.p99 <= stats.max);
     }
+
+    // Cross-thread shard merge behaviour is covered in tests/integration.rs
+    // and tests/sharding.rs, which serialise access to the global registry;
+    // unit tests here stay on thread-private state only.
 }

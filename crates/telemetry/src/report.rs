@@ -27,7 +27,7 @@ pub(crate) fn self_time_by_path(spans: &HashMap<String, SpanStats>) -> BTreeMap<
 }
 
 /// Renders the global registry as an indented span-tree profile with
-/// cumulative vs. self time and p50/p99 latencies, followed by counters and
+/// cumulative vs. self time and p50/p95/p99 latencies, followed by counters and
 /// gauges. Designed to be printed once at the end of a bench binary:
 ///
 /// ```text
@@ -48,8 +48,8 @@ pub fn report() -> String {
         out.push_str("(no spans recorded)\n");
     } else {
         out.push_str(&format!(
-            "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9}\n",
-            "span", "count", "total", "self", "p50", "p99"
+            "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+            "span", "count", "total", "self", "p50", "p95", "p99"
         ));
         // Sorted paths give a stable depth-first tree: `a` < `a/b` < `ab`
         // does not hold in general, but `/` sorts before alphanumerics in
@@ -65,12 +65,13 @@ pub fn report() -> String {
             let name = path.rsplit('/').next().unwrap_or(path);
             let self_time = self_times.get(*path).copied().unwrap_or_default();
             out.push_str(&format!(
-                "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9}\n",
+                "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
                 format!("{}{}", "  ".repeat(depth), name),
                 stats.count,
                 fmt_duration(stats.total),
                 fmt_duration(self_time),
                 fmt_duration(stats.p50),
+                fmt_duration(stats.p95),
                 fmt_duration(stats.p99),
             ));
         }

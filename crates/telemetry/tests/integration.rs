@@ -50,9 +50,11 @@ fn span_nesting_is_tracked_per_thread() {
 }
 
 #[test]
-fn percentiles_match_known_distribution() {
+fn percentiles_match_known_distribution_within_histogram_bound() {
     with_clean_state(|| {
-        // 1..=1000 µs, shuffled order must not matter.
+        // 1..=1000 µs, shuffled order must not matter. Count/min/max/total
+        // are exact; quantiles come from the log-linear histogram and may
+        // overshoot the exact nearest-rank value by at most 1/64.
         for i in (1..=1000u64).rev() {
             telemetry::record_duration("dist", Duration::from_micros(i));
         }
@@ -60,19 +62,26 @@ fn percentiles_match_known_distribution() {
         assert_eq!(stats.count, 1000);
         assert_eq!(stats.min, Duration::from_micros(1));
         assert_eq!(stats.max, Duration::from_micros(1000));
-        // Nearest-rank on the full (un-evicted) sample set is exact.
-        assert_eq!(stats.p50, Duration::from_micros(500));
-        assert_eq!(stats.p99, Duration::from_micros(990));
         assert_eq!(stats.total, Duration::from_micros(500_500));
+        for (reported, exact_us) in [(stats.p50, 500u64), (stats.p95, 950), (stats.p99, 990)] {
+            let reported_ns = reported.as_nanos() as u64;
+            let exact_ns = exact_us * 1000;
+            assert!(reported_ns >= exact_ns, "{reported_ns} < exact {exact_ns}");
+            assert!(
+                (reported_ns - exact_ns) as f64 <= exact_ns as f64 * telemetry::hist::RELATIVE_ERROR,
+                "{reported_ns} outside error bound of exact {exact_ns}"
+            );
+        }
     });
 }
 
 #[test]
-fn percentiles_stay_sane_past_reservoir_capacity() {
+fn percentiles_stay_bounded_for_large_streams() {
     with_clean_state(|| {
-        // 100_000 samples uniform in 0..100ms — far beyond the reservoir
-        // cap, so p50/p99 are estimates; they must stay within a loose
-        // tolerance of the true quantiles.
+        // 100_000 samples uniform in 0..100ms. The histogram keeps bounded
+        // memory regardless of stream length, and its quantiles must track
+        // the true quantiles within the 1/64 relative-error bound (loose
+        // bands here because the stream itself is pseudo-random).
         for i in 0..100_000u64 {
             let us = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) % 100_000;
             telemetry::record_duration("big", Duration::from_micros(us));
@@ -80,9 +89,50 @@ fn percentiles_stay_sane_past_reservoir_capacity() {
         let stats = &telemetry::snapshot().spans["big"];
         assert_eq!(stats.count, 100_000);
         let p50_ms = stats.p50.as_secs_f64() * 1e3;
+        let p95_ms = stats.p95.as_secs_f64() * 1e3;
         let p99_ms = stats.p99.as_secs_f64() * 1e3;
-        assert!((40.0..60.0).contains(&p50_ms), "p50 {p50_ms}ms");
-        assert!(p99_ms > 90.0, "p99 {p99_ms}ms");
+        assert!((48.0..52.0).contains(&p50_ms), "p50 {p50_ms}ms");
+        assert!((93.0..97.0).contains(&p95_ms), "p95 {p95_ms}ms");
+        assert!(p99_ms > 97.0, "p99 {p99_ms}ms");
+        assert!(stats.p99 <= stats.max);
+    });
+}
+
+#[test]
+fn worker_thread_counters_reach_jsonl_on_flush() {
+    with_clean_state(|| {
+        // Regression test for flush ordering: a counter incremented on a
+        // worker thread that is still alive at flush() time must appear in
+        // the JSONL file — flush drains the shards *before* the sinks.
+        let path = std::env::temp_dir()
+            .join(format!("hqnn-telemetry-flush-{}.jsonl", std::process::id()));
+        telemetry::add_jsonl_sink(&path).unwrap();
+
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            telemetry::counter("test.worker_ticks", 7);
+            ready_tx.send(()).unwrap();
+            // Hold the thread (and its undrained shard) open across flush.
+            done_rx.recv().unwrap();
+        });
+        ready_rx.recv().unwrap();
+
+        telemetry::flush();
+        done_tx.send(()).unwrap();
+        worker.join().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let metrics_line = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"telemetry.metrics\""))
+            .expect("flush emits a telemetry.metrics event");
+        let ev: telemetry::Event = serde_json::from_str(metrics_line).unwrap();
+        assert_eq!(
+            ev.fields.iter().find(|(k, _)| k == "test.worker_ticks"),
+            Some(&("test.worker_ticks".to_string(), 7u64.into()))
+        );
     });
 }
 
