@@ -3,7 +3,7 @@
 CARGO ?= cargo
 PROFILE_DIR ?= experiment-results
 
-.PHONY: build test repro profile smoke bench bench-check bench-smoke bench-baseline bench-trend lint fmt clippy clean
+.PHONY: build test repro profile smoke obs-smoke bench bench-check bench-smoke bench-baseline bench-trend lint fmt clippy clean
 
 build:
 	$(CARGO) build --release --workspace
@@ -26,6 +26,23 @@ profile:
 smoke:
 	$(CARGO) run -p hqnn-bench --release --bin repro -- --smoke --fresh \
 		--cache /tmp/hqnn-smoke --log-json /tmp/hqnn-smoke.jsonl
+
+# Tiny traced study (debug-level spans, alloc counting on), then every
+# hqnn-obs subcommand exercised against the resulting JSONL trace. The
+# critical-path report lands next to the trace for CI artifact upload.
+OBS_DIR ?= /tmp/hqnn-obs-smoke
+obs-smoke:
+	mkdir -p $(OBS_DIR)
+	HQNN_LOG=debug HQNN_ALLOC=1 $(CARGO) run -p hqnn-bench --release --bin repro -- \
+		--smoke --fresh --cache $(OBS_DIR)/study --log-json $(OBS_DIR)/trace.jsonl
+	$(CARGO) run -q -p hqnn-obs --release --bin hqnn-obs -- critical-path $(OBS_DIR)/trace.jsonl \
+		| tee $(OBS_DIR)/critical-path.txt
+	$(CARGO) run -q -p hqnn-obs --release --bin hqnn-obs -- tree $(OBS_DIR)/trace.jsonl
+	$(CARGO) run -q -p hqnn-obs --release --bin hqnn-obs -- diff $(OBS_DIR)/trace.jsonl $(OBS_DIR)/trace.jsonl
+	$(CARGO) run -q -p hqnn-obs --release --bin hqnn-obs -- grep $(OBS_DIR)/trace.jsonl event=span
+	$(CARGO) run -q -p hqnn-obs --release --bin hqnn-obs -- flamegraph-diff \
+		$(OBS_DIR)/trace.jsonl $(OBS_DIR)/trace.jsonl --weight bytes
+	@echo "obs-smoke artifacts in $(OBS_DIR)"
 
 # Microbenchmark suite: appends bench/history/BENCH_<stamp>.json with run
 # manifest, median/MAD timings, throughput, and measured-vs-analytic FLOPs

@@ -1,0 +1,255 @@
+//! Opt-in counting global allocator for span-attributed memory profiling.
+//!
+//! Installing `#[global_allocator]` is process-wide, so this lives in its own
+//! leaf crate: linking `hqnn-telemetry` (which depends on this) is enough to
+//! make every workspace binary countable. The allocator delegates straight to
+//! [`std::alloc::System`]; when counting is *off* (the default) the only
+//! overhead is one relaxed atomic load per allocator call, and it **never**
+//! changes allocation behaviour — sizes, alignment, and addresses are
+//! whatever `System` returns, so enabling `HQNN_ALLOC=1` cannot perturb
+//! numerics.
+//!
+//! When counting is on, each thread ticks four thread-local [`Cell`]s
+//! (allocation count, allocated bytes, live bytes, peak live bytes). The
+//! counting path allocates nothing itself (plain `Cell<u64>`/`Cell<i64>`
+//! with const initialisers, no destructors), so it cannot recurse into the
+//! allocator. Span guards read the cells before and after their scope and
+//! attribute the delta — see `hqnn_telemetry`'s alloc module.
+//!
+//! Counters are *per thread*: deltas taken on the thread that runs a span
+//! are deterministic for deterministic workloads, which is what keeps the
+//! JSONL alloc columns byte-identical at any `HQNN_THREADS`.
+
+// This crate is the one place in the workspace that must write `unsafe`:
+// `GlobalAlloc` is an unsafe trait. Every unsafe block below only forwards
+// to `std::alloc::System` with the caller's own contract.
+// lint:allow(forbid-unsafe): GlobalAlloc is an unsafe trait; all unsafe here delegates verbatim to std::alloc::System
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global switch; off by default so the counting branch is never taken in
+/// uninstrumented runs.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Allocations observed on this thread while counting was enabled.
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    /// Bytes requested by those allocations (realloc growth included).
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+    /// Live bytes: allocated minus freed. Signed — a thread may free memory
+    /// another thread allocated, so this can go negative locally.
+    static LIVE_BYTES: Cell<i64> = const { Cell::new(0) };
+    /// High-water mark of [`LIVE_BYTES`] since the last window reset.
+    static PEAK_LIVE: Cell<i64> = const { Cell::new(0) };
+}
+
+/// Turns counting on or off process-wide. Reads taken while counting was off
+/// simply see frozen counters.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether allocation counting is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A point-in-time copy of the calling thread's allocation counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadAllocStats {
+    /// Allocations observed on this thread (allocs + reallocs).
+    pub count: u64,
+    /// Total bytes requested by those allocations.
+    pub bytes: u64,
+    /// Currently-live bytes as seen from this thread (may be negative when
+    /// the thread frees memory allocated elsewhere).
+    pub live_bytes: i64,
+    /// High-water mark of `live_bytes` since the last [`begin_window`].
+    pub peak_live_bytes: i64,
+}
+
+/// Reads the calling thread's counters. Cheap (four `Cell` reads); safe to
+/// call whether or not counting is enabled.
+pub fn thread_stats() -> ThreadAllocStats {
+    ThreadAllocStats {
+        count: ALLOC_COUNT.try_with(Cell::get).unwrap_or(0),
+        bytes: ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
+        live_bytes: LIVE_BYTES.try_with(Cell::get).unwrap_or(0),
+        peak_live_bytes: PEAK_LIVE.try_with(Cell::get).unwrap_or(0),
+    }
+}
+
+/// Starts a peak-tracking window on this thread: resets the peak to the
+/// current live level and returns the previous peak so nested windows can
+/// restore it via [`end_window`].
+pub fn begin_window() -> i64 {
+    LIVE_BYTES
+        .try_with(|live| {
+            let saved = PEAK_LIVE.try_with(Cell::get).unwrap_or(0);
+            let _ = PEAK_LIVE.try_with(|peak| peak.set(live.get()));
+            saved
+        })
+        .unwrap_or(0)
+}
+
+/// Ends a peak-tracking window: restores the enclosing window's peak to the
+/// larger of its `saved` value and the peak reached inside this window.
+pub fn end_window(saved: i64) {
+    let _ = PEAK_LIVE.try_with(|peak| peak.set(peak.get().max(saved)));
+}
+
+#[inline]
+fn note_alloc(size: usize) {
+    let size = size as i64;
+    let _ = ALLOC_COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = ALLOC_BYTES.try_with(|b| b.set(b.get().wrapping_add(size as u64)));
+    let _ = LIVE_BYTES.try_with(|live| {
+        let now = live.get().wrapping_add(size);
+        live.set(now);
+        let _ = PEAK_LIVE.try_with(|peak| {
+            if now > peak.get() {
+                peak.set(now);
+            }
+        });
+    });
+}
+
+#[inline]
+fn note_dealloc(size: usize) {
+    let _ = LIVE_BYTES.try_with(|live| live.set(live.get().wrapping_sub(size as i64)));
+}
+
+/// The counting allocator: a transparent wrapper over [`System`].
+pub struct CountingAllocator;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() && is_enabled() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() && is_enabled() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        if is_enabled() {
+            note_dealloc(layout.size());
+        }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() && is_enabled() {
+            // Accounted as free-old + alloc-new: one allocation event whose
+            // bytes are the new size, live delta is the size change.
+            note_dealloc(layout.size());
+            note_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share the process-wide ENABLED switch; serialise them.
+    fn serial(f: impl FnOnce()) {
+        use std::sync::Mutex;
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        f();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_counting_is_frozen() {
+        serial(|| {
+            let before = thread_stats();
+            let v = vec![0u8; 4096];
+            drop(v);
+            let after = thread_stats();
+            assert_eq!(before.count, after.count);
+            assert_eq!(before.bytes, after.bytes);
+        });
+    }
+
+    #[test]
+    fn enabled_counting_tracks_alloc_and_live() {
+        serial(|| {
+            set_enabled(true);
+            let before = thread_stats();
+            let v = vec![7u8; 10_000];
+            let mid = thread_stats();
+            drop(v);
+            let after = thread_stats();
+            set_enabled(false);
+            assert!(mid.count > before.count, "allocation counted");
+            assert!(
+                mid.bytes - before.bytes >= 10_000,
+                "bytes cover the vec: {} -> {}",
+                before.bytes,
+                mid.bytes
+            );
+            assert!(
+                mid.live_bytes - before.live_bytes >= 10_000,
+                "live rises while held"
+            );
+            assert!(after.live_bytes < mid.live_bytes, "live falls after drop");
+        });
+    }
+
+    #[test]
+    fn windows_reset_and_restore_peaks() {
+        serial(|| {
+            set_enabled(true);
+            // Outer window: a large spike, then release it.
+            let outer_saved = begin_window();
+            let big = vec![1u8; 1 << 16];
+            drop(big);
+            let outer_peak = thread_stats().peak_live_bytes;
+            let live_now = thread_stats().live_bytes;
+            // Inner window: the peak collapses to the current live level...
+            let inner_saved = begin_window();
+            assert_eq!(thread_stats().peak_live_bytes, live_now);
+            let small = vec![2u8; 1 << 8];
+            drop(small);
+            end_window(inner_saved);
+            // ...and restoring merges: the outer peak still covers the spike.
+            assert!(thread_stats().peak_live_bytes >= outer_peak);
+            end_window(outer_saved);
+            set_enabled(false);
+        });
+    }
+
+    #[test]
+    fn realloc_counts_as_one_event_with_growth() {
+        serial(|| {
+            set_enabled(true);
+            let before = thread_stats();
+            let mut v: Vec<u8> = vec![0; 16];
+            v.reserve_exact(4096); // forces realloc
+            let after = thread_stats();
+            drop(v);
+            set_enabled(false);
+            assert!(after.count >= before.count + 2, "alloc + realloc counted");
+            assert!(after.bytes >= before.bytes + 16 + 4096);
+        });
+    }
+}

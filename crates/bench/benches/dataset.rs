@@ -51,5 +51,10 @@ fn bench_split(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spiral_generation, bench_standardizer, bench_split);
+criterion_group!(
+    benches,
+    bench_spiral_generation,
+    bench_standardizer,
+    bench_split
+);
 criterion_main!(benches);

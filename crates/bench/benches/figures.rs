@@ -73,5 +73,10 @@ fn bench_table1(c: &mut Criterion) {
         });
 }
 
-criterion_group!(benches, bench_fig4_dataset, bench_search_figures, bench_table1);
+criterion_group!(
+    benches,
+    bench_fig4_dataset,
+    bench_search_figures,
+    bench_table1
+);
 criterion_main!(benches);

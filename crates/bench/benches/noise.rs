@@ -13,7 +13,9 @@ fn bench_pure_vs_mixed(c: &mut Criterion) {
         let template = QnnTemplate::new(qubits, 2, EntanglerKind::Strong);
         let circuit = template.build();
         let inputs: Vec<f64> = (0..qubits).map(|i| 0.2 * i as f64).collect();
-        let params: Vec<f64> = (0..template.param_count()).map(|i| 0.1 * i as f64).collect();
+        let params: Vec<f64> = (0..template.param_count())
+            .map(|i| 0.1 * i as f64)
+            .collect();
 
         group.bench_function(BenchmarkId::new("statevector", qubits), |b| {
             b.iter(|| black_box(circuit.run(black_box(&inputs), black_box(&params))));
@@ -50,7 +52,9 @@ fn bench_noisy_gradients(c: &mut Criterion) {
     let template = QnnTemplate::new(3, 2, EntanglerKind::Basic);
     let circuit = template.build();
     let inputs = [0.3, -0.2, 0.8];
-    let params: Vec<f64> = (0..template.param_count()).map(|i| 0.1 * i as f64).collect();
+    let params: Vec<f64> = (0..template.param_count())
+        .map(|i| 0.1 * i as f64)
+        .collect();
     let obs: Vec<_> = (0..3).map(hqnn_qsim::Observable::z).collect();
     let noise = NoiseModel::depolarizing(0.05);
     group.bench_function("parameter_shift_noisy_BEL(3,2)", |b| {

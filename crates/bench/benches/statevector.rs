@@ -3,7 +3,9 @@
 //! states" the paper cites as the cost of classical simulation (§I-A).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hqnn_qsim::{Circuit, EntanglerKind, GateKind, Observable, ParamSource, QnnTemplate, StateVector};
+use hqnn_qsim::{
+    Circuit, EntanglerKind, GateKind, Observable, ParamSource, QnnTemplate, StateVector,
+};
 use std::hint::black_box;
 
 fn bench_single_qubit_gate(c: &mut Criterion) {
@@ -44,15 +46,13 @@ fn bench_template_execution(c: &mut Criterion) {
             let template = QnnTemplate::new(qubits, depth, kind);
             let circuit = template.build();
             let inputs: Vec<f64> = (0..qubits).map(|i| 0.1 * i as f64).collect();
-            let params: Vec<f64> = (0..template.param_count()).map(|i| 0.05 * i as f64).collect();
+            let params: Vec<f64> = (0..template.param_count())
+                .map(|i| 0.05 * i as f64)
+                .collect();
             let obs: Vec<Observable> = (0..qubits).map(Observable::z).collect();
             group.bench_function(BenchmarkId::from_parameter(template.label()), |b| {
                 b.iter(|| {
-                    black_box(circuit.expectations(
-                        black_box(&inputs),
-                        black_box(&params),
-                        &obs,
-                    ))
+                    black_box(circuit.expectations(black_box(&inputs), black_box(&params), &obs))
                 });
             });
         }

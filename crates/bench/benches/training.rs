@@ -16,16 +16,16 @@ fn bench_one_epoch(c: &mut Criterion) {
 
     let n_features = 10;
     let mut rng = SeededRng::new(3);
-    let dataset = Dataset::spiral(
-        &SpiralConfig::fast(n_features).with_samples(300),
-        &mut rng,
-    );
+    let dataset = Dataset::spiral(&SpiralConfig::fast(n_features).with_samples(300), &mut rng);
     let (train_set, val_set) = dataset.split(0.8, &mut rng);
     let (standardizer, x_train) = Standardizer::fit_transform(train_set.features());
     let x_val = standardizer.transform(val_set.features());
 
     let specs: Vec<(&str, ModelSpec)> = vec![
-        ("classical_C[8,6]", ClassicalSpec::new(n_features, vec![8, 6], 3).into()),
+        (
+            "classical_C[8,6]",
+            ClassicalSpec::new(n_features, vec![8, 6], 3).into(),
+        ),
         (
             "hybrid_BEL(3,2)",
             HybridSpec::new(n_features, 3, QnnTemplate::new(3, 2, EntanglerKind::Basic)).into(),

@@ -40,7 +40,10 @@ impl ClassicalSpec {
     pub fn new(n_features: usize, hidden: Vec<usize>, n_classes: usize) -> Self {
         assert!(n_features > 0, "need at least one feature");
         assert!(n_classes > 0, "need at least one class");
-        assert!(hidden.iter().all(|&h| h > 0), "hidden widths must be positive");
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
         Self {
             n_features,
             hidden,
@@ -57,6 +60,9 @@ impl ClassicalSpec {
 
     /// Builds a freshly initialised trainable model.
     pub fn build(&self, rng: &mut SeededRng) -> Sequential {
+        // Spanned so HQNN_ALLOC attributes the weight/buffer allocations of
+        // model construction separately from training itself.
+        let _span = hqnn_telemetry::span("core.model_build");
         let mut model = Sequential::new();
         let mut prev = self.n_features;
         for &h in &self.hidden {
@@ -138,10 +144,12 @@ impl HybridSpec {
 
     /// Builds a freshly initialised trainable model.
     pub fn build(&self, rng: &mut SeededRng) -> Sequential {
+        let _span = hqnn_telemetry::span("core.model_build");
         let q = self.template.n_qubits();
         let mut model = Sequential::new();
         model.push(Dense::new(self.n_features, q, rng));
-        model.push(QuantumLayer::new(self.template, rng).with_gradient_method(self.gradient_method));
+        model
+            .push(QuantumLayer::new(self.template, rng).with_gradient_method(self.gradient_method));
         model.push(Dense::new(q, self.n_classes, rng));
         model
     }
@@ -325,7 +333,8 @@ mod tests {
     fn model_spec_delegates() {
         let cost = CostModel::default();
         let c: ModelSpec = ClassicalSpec::new(10, vec![4], 3).into();
-        let h: ModelSpec = HybridSpec::new(10, 3, QnnTemplate::new(3, 1, EntanglerKind::Basic)).into();
+        let h: ModelSpec =
+            HybridSpec::new(10, 3, QnnTemplate::new(3, 1, EntanglerKind::Basic)).into();
         assert_eq!(c.n_features(), 10);
         assert_eq!(h.n_features(), 10);
         assert!(c.label().starts_with("C["));
@@ -375,7 +384,10 @@ mod tests {
             model.apply_gradients(&mut opt);
             final_loss = loss;
         }
-        assert!(final_loss < 0.2, "hybrid failed to learn: loss {final_loss}");
+        assert!(
+            final_loss < 0.2,
+            "hybrid failed to learn: loss {final_loss}"
+        );
         assert_eq!(hqnn_nn::accuracy(&model.predict(&x), &labels), 1.0);
     }
 }

@@ -210,7 +210,9 @@ mod tests {
         let spec: ModelSpec = ClassicalSpec::new(4, vec![3], 2).into();
         let mut model = spec.build(&mut SeededRng::new(2));
         let saved = SavedModel::capture(spec, &mut model);
-        let path = std::env::temp_dir().join("hqnn-core-test").join("model.json");
+        let path = std::env::temp_dir()
+            .join("hqnn-core-test")
+            .join("model.json");
         saved.save(&path).expect("save");
         let loaded = SavedModel::load(&path).expect("load");
         assert_eq!(saved, loaded);

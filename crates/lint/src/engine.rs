@@ -35,7 +35,10 @@ impl Report {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
-            out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message));
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
         }
         out.push_str(&format!(
             "{} finding(s) in {} file(s) across {} crate(s)\n",

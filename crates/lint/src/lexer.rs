@@ -80,9 +80,9 @@ impl Lexed {
     /// `true` when `rule` is allowed on `line` (or anywhere in the file,
     /// for file-scoped rules passing `line == 0`).
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows.iter().any(|a| {
-            a.rules.iter().any(|r| r == rule) && (line == 0 || a.applies_to == line)
-        })
+        self.allows
+            .iter()
+            .any(|a| a.rules.iter().any(|r| r == rule) && (line == 0 || a.applies_to == line))
     }
 }
 
@@ -133,7 +133,13 @@ pub fn lex(source: &str) -> Lexed {
             while i < b.len() && b[i] != b'\n' {
                 i += 1;
             }
-            record_allows(&source[start..i], line, standalone, &mut allows, &mut pending);
+            record_allows(
+                &source[start..i],
+                line,
+                standalone,
+                &mut allows,
+                &mut pending,
+            );
             continue;
         }
         // Block comment (nested).
@@ -157,7 +163,13 @@ pub fn lex(source: &str) -> Lexed {
                     i += 1;
                 }
             }
-            record_allows(&source[start..i], start_line, standalone, &mut allows, &mut pending);
+            record_allows(
+                &source[start..i],
+                start_line,
+                standalone,
+                &mut allows,
+                &mut pending,
+            );
             continue;
         }
         // String-ish literals, possibly prefixed: "…", r"…", r#"…"#, b"…",
@@ -222,7 +234,9 @@ pub fn lex(source: &str) -> Lexed {
             while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
                 i += 1;
             }
-            let text = source[start..i].trim_start_matches("r#").trim_start_matches("b#");
+            let text = source[start..i]
+                .trim_start_matches("r#")
+                .trim_start_matches("b#");
             push_tok!(TokKind::Ident, text.to_string(), line);
             continue;
         }
@@ -230,9 +244,7 @@ pub fn lex(source: &str) -> Lexed {
         if c.is_ascii_digit() {
             let start = i;
             i += 1;
-            while i < b.len()
-                && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
-            {
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                 i += 1;
             }
             // Fractional part only when followed by a digit ("0..n" stays
@@ -345,7 +357,13 @@ fn scan_prefixed_literal(b: &[u8], i: &mut usize, source: &str) -> Option<(Strin
             if b[j] == b'\n' {
                 nl += 1;
             }
-            if b[j] == b'"' && b[j + 1..].iter().take(hashes).filter(|&&h| h == b'#').count() == hashes
+            if b[j] == b'"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&h| h == b'#')
+                    .count()
+                    == hashes
             {
                 let contents = source[start..j].to_string();
                 *i = j + 1 + hashes;
@@ -583,7 +601,10 @@ let b = y.unwrap();
 ";
         let lexed = lex(src);
         assert!(lexed.allowed("panic", 1), "trailing comment governs line 1");
-        assert!(lexed.allowed("panic", 4), "standalone governs next code line");
+        assert!(
+            lexed.allowed("panic", 4),
+            "standalone governs next code line"
+        );
         assert!(!lexed.allowed("panic", 2));
         assert!(!lexed.allowed("other-rule", 1));
     }
@@ -593,7 +614,10 @@ let b = y.unwrap();
         let lexed = lex("// lint:allow(hash-iter, wall-clock): both\nuse foo;\n");
         assert!(lexed.allowed("hash-iter", 2));
         assert!(lexed.allowed("wall-clock", 2));
-        assert!(lexed.allowed("hash-iter", 0), "file-scope query matches anywhere");
+        assert!(
+            lexed.allowed("hash-iter", 0),
+            "file-scope query matches anywhere"
+        );
     }
 
     #[test]
@@ -630,15 +654,36 @@ fn unit() { helper(); }
 fn lib() { body(); }
 ";
         let lexed = lex(src);
-        assert!(lexed.tokens.iter().find(|t| t.is_ident("helper")).unwrap().in_test);
-        assert!(!lexed.tokens.iter().find(|t| t.is_ident("body")).unwrap().in_test);
+        assert!(
+            lexed
+                .tokens
+                .iter()
+                .find(|t| t.is_ident("helper"))
+                .unwrap()
+                .in_test
+        );
+        assert!(
+            !lexed
+                .tokens
+                .iter()
+                .find(|t| t.is_ident("body"))
+                .unwrap()
+                .in_test
+        );
     }
 
     #[test]
     fn cfg_not_test_is_not_test_code() {
         let src = "#[cfg(not(test))]\nfn prod() { live(); }\n";
         let lexed = lex(src);
-        assert!(!lexed.tokens.iter().find(|t| t.is_ident("live")).unwrap().in_test);
+        assert!(
+            !lexed
+                .tokens
+                .iter()
+                .find(|t| t.is_ident("live"))
+                .unwrap()
+                .in_test
+        );
     }
 
     #[test]
@@ -658,6 +703,9 @@ fn lib() { body(); }
             .map(|t| t.text.as_str())
             .collect();
         assert_eq!(strs, vec!["bytes", "cstr"]);
-        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Char && t.text == "x"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
     }
 }

@@ -198,8 +198,7 @@ fn check_thread_id(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             continue;
         }
         let hit = t.text == "ThreadId"
-            || (t.text == "current"
-                && matches(toks, i + 1, &["(", ")", ".", "id", "("]));
+            || (t.text == "current" && matches(toks, i + 1, &["(", ")", ".", "id", "("]));
         if hit {
             push(
                 lexed,
@@ -226,10 +225,7 @@ fn check_panic(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             continue;
         }
         let method_call = |name: &str| {
-            t.text == name
-                && i >= 1
-                && toks[i - 1].is_punct(".")
-                && matches(toks, i + 1, &["("])
+            t.text == name && i >= 1 && toks[i - 1].is_punct(".") && matches(toks, i + 1, &["("])
         };
         let macro_call = |name: &str| t.text == name && matches(toks, i + 1, &["!"]);
         let what = if method_call("unwrap") {
@@ -267,7 +263,11 @@ fn check_forbid_unsafe(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>)
     let toks = &lexed.tokens;
     let has = toks.iter().enumerate().any(|(i, t)| {
         t.is_punct("#")
-            && matches(toks, i + 1, &["!", "[", "forbid", "(", "unsafe_code", ")", "]"])
+            && matches(
+                toks,
+                i + 1,
+                &["!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+            )
     });
     if !has {
         // File-scoped rule: any lint:allow(forbid-unsafe) in the file
@@ -318,7 +318,10 @@ pub fn is_env_name(s: &str) -> bool {
     let Some(rest) = s.strip_prefix("HQNN_") else {
         return false;
     };
-    !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
+    !rest.is_empty()
+        && rest
+            .bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
 }
 
 fn check_span_naming(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
@@ -338,10 +341,7 @@ fn check_span_naming(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         if i >= 1 && toks[i - 1].is_ident("fn") {
             continue;
         }
-        if i >= 1
-            && toks[i - 1].is_punct(":")
-            && !(i >= 2 && toks[i - 2].is_punct(":"))
-        {
+        if i >= 1 && toks[i - 1].is_punct(":") && !(i >= 2 && toks[i - 2].is_punct(":")) {
             continue;
         }
         if !matches(toks, i + 1, &["("]) {
@@ -349,7 +349,10 @@ fn check_span_naming(lexed: &Lexed, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         }
         // First string literal among the next few tokens is the name
         // argument; calls that build names dynamically are not checked.
-        let Some(name_tok) = toks[i + 2..].iter().take(4).find(|n| n.kind == TokKind::Str)
+        let Some(name_tok) = toks[i + 2..]
+            .iter()
+            .take(4)
+            .find(|n| n.kind == TokKind::Str)
         else {
             continue;
         };
@@ -377,7 +380,9 @@ pub fn is_span_name(s: &str) -> bool {
         return false;
     };
     let seg_ok = |seg: &str| {
-        seg.as_bytes().first().is_some_and(|c| c.is_ascii_lowercase())
+        seg.as_bytes()
+            .first()
+            .is_some_and(|c| c.is_ascii_lowercase())
             && seg
                 .bytes()
                 .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
@@ -419,8 +424,14 @@ mod tests {
     fn hash_iter_only_in_numeric_crates() {
         let src = "use std::collections::HashMap;\n";
         let reg: Vec<String> = Vec::new();
-        assert_eq!(run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg)).len(), 1);
-        assert_eq!(run(src, &ctx("telemetry", "crates/telemetry/src/x.rs", &reg)).len(), 0);
+        assert_eq!(
+            run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg)).len(),
+            1
+        );
+        assert_eq!(
+            run(src, &ctx("telemetry", "crates/telemetry/src/x.rs", &reg)).len(),
+            0
+        );
     }
 
     #[test]
@@ -441,7 +452,10 @@ mod tests {
         let reg: Vec<String> = Vec::new();
         // `unwrap_or` / field named panic / `panic` without `!` are fine.
         let src = "fn f() { x.unwrap_or(0); let panic = 1; s.expect_err(\"e\"); }\n";
-        assert_eq!(run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg)).len(), 0);
+        assert_eq!(
+            run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg)).len(),
+            0
+        );
     }
 
     #[test]
@@ -449,7 +463,10 @@ mod tests {
         let reg: Vec<String> = Vec::new();
         let src = "fn f() { let id = std::thread::current().id(); }\n";
         assert_eq!(run(src, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 1);
-        assert_eq!(run(src, &ctx("runtime", "crates/runtime/src/x.rs", &reg)).len(), 0);
+        assert_eq!(
+            run(src, &ctx("runtime", "crates/runtime/src/x.rs", &reg)).len(),
+            0
+        );
         // `current()` without `.id()` is fine.
         let benign = "fn f() { let t = std::thread::current(); name(&t); }\n";
         assert_eq!(run(benign, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
@@ -488,9 +505,15 @@ mod tests {
         // Path-qualified metric calls are call sites: `::` lexes as two `:`
         // tokens and must not be skipped as a field position.
         let qualified = "fn f() { telemetry::counter(\"BadName\", 1); }\n";
-        assert_eq!(run(qualified, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 1);
+        assert_eq!(
+            run(qualified, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(),
+            1
+        );
         let qualified_ok = "fn f() { telemetry::gauge_max(\"nn.grad_peak\", x); }\n";
-        assert_eq!(run(qualified_ok, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
+        assert_eq!(
+            run(qualified_ok, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(),
+            0
+        );
         // A lone colon before the ident (type/field position) still skips.
         let field = "fn f(kind: counter) { other(kind); }\n";
         assert_eq!(run(field, &ctx("nn", "crates/nn/src/x.rs", &reg)).len(), 0);
@@ -514,7 +537,10 @@ mod tests {
     fn allow_annotation_suppresses() {
         let reg: Vec<String> = Vec::new();
         let src = "fn f() { x.unwrap(); } // lint:allow(panic): invariant upheld by caller\n";
-        assert_eq!(run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg)).len(), 0);
+        assert_eq!(
+            run(src, &ctx("qsim", "crates/qsim/src/x.rs", &reg)).len(),
+            0
+        );
     }
 
     #[test]

@@ -4,6 +4,10 @@ pub fn configured_threads() -> Option<String> {
     std::env::var("HQNN_THREADS").ok()
 }
 
+pub fn alloc_counting_enabled() -> bool {
+    std::env::var("HQNN_ALLOC").is_ok()
+}
+
 pub fn experimental_flag() -> bool {
     // lint:allow(env-registry): prototype flag, registered before release
     std::env::var("HQNN_EXPERIMENTAL_X").is_ok()

@@ -30,7 +30,12 @@ fn fixture_ctx(rule: &str) -> (&'static str, bool, bool) {
 }
 
 fn registry() -> Vec<String> {
-    vec!["HQNN_LOG".to_string(), "HQNN_THREADS".to_string(), "HQNN_FUSE".to_string()]
+    vec![
+        "HQNN_LOG".to_string(),
+        "HQNN_THREADS".to_string(),
+        "HQNN_FUSE".to_string(),
+        "HQNN_ALLOC".to_string(),
+    ]
 }
 
 #[test]
@@ -92,7 +97,10 @@ fn violation_messages_are_actionable() {
     let reg = registry();
     let path = fixtures_dir().join("panic_violation.rs");
     let findings = lint_file(&path, "tensor", false, false, &reg).expect("lint");
-    let f = findings.iter().find(|f| f.rule == "panic").expect("panic finding");
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "panic")
+        .expect("panic finding");
     assert!(
         f.message.contains("lint:allow") || f.message.contains("Result"),
         "message should point at the fix: {}",

@@ -133,10 +133,10 @@ pub fn check_grad_norm(norm: f64, epoch: usize, step: u64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer::{Activation, Dense};
     use crate::model::Sequential;
     use crate::optimizer::Adam;
     use crate::train::{train, TrainConfig};
-    use crate::layer::{Activation, Dense};
     use hqnn_tensor::{Matrix, SeededRng};
     use std::sync::Mutex;
 
@@ -222,11 +222,17 @@ mod tests {
         let fields = &health_events[0].fields;
         // Attribution: the event carries the enclosing span path (`nn.train`
         // opens one, so it is never empty here) and the warn action.
-        let span = fields.iter().find(|(k, _)| k == "span").expect("span field");
-        assert_eq!(span.1, telemetry::FieldValue::Str("nn.train/nn.epoch".into()));
-        assert!(fields.iter().any(|(k, v)| {
-            k == "action" && *v == telemetry::FieldValue::Str("warn".into())
-        }));
+        let span = fields
+            .iter()
+            .find(|(k, _)| k == "span")
+            .expect("span field");
+        assert_eq!(
+            span.1,
+            telemetry::FieldValue::Str("nn.train/nn.epoch".into())
+        );
+        assert!(fields
+            .iter()
+            .any(|(k, v)| { k == "action" && *v == telemetry::FieldValue::Str("warn".into()) }));
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "dense dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "dense dimensions must be positive"
+        );
         Self {
             weight: Matrix::glorot_uniform(in_dim, out_dim, rng),
             bias: Matrix::zeros(1, out_dim),
@@ -365,7 +368,11 @@ mod tests {
 
     #[test]
     fn activation_backward_derivatives() {
-        for kind in [ActivationKind::Relu, ActivationKind::Tanh, ActivationKind::Sigmoid] {
+        for kind in [
+            ActivationKind::Relu,
+            ActivationKind::Tanh,
+            ActivationKind::Sigmoid,
+        ] {
             let mut layer = Activation::new(kind);
             let x = Matrix::row_vector(&[-1.0, 0.5, 2.0]);
             let y = layer.forward(&x, true);
@@ -378,7 +385,8 @@ mod tests {
                 xp.as_mut_slice()[i] += eps;
                 let mut xm = x.clone();
                 xm.as_mut_slice()[i] -= eps;
-                let fd = (kind.apply(xp.as_slice()[i]) - kind.apply(xm.as_slice()[i])) / (2.0 * eps);
+                let fd =
+                    (kind.apply(xp.as_slice()[i]) - kind.apply(xm.as_slice()[i])) / (2.0 * eps);
                 assert!(
                     (dx.as_slice()[i] - fd).abs() < 1e-6,
                     "{kind:?} elem {i}: {} vs {fd}",

@@ -154,8 +154,8 @@ impl Optimizer for Adam {
             self.moments.resize(slot + 1, None);
         }
         let (r, c) = value.shape();
-        let (m, v) = self.moments[slot]
-            .get_or_insert_with(|| (Matrix::zeros(r, c), Matrix::zeros(r, c)));
+        let (m, v) =
+            self.moments[slot].get_or_insert_with(|| (Matrix::zeros(r, c), Matrix::zeros(r, c)));
         assert_eq!(m.shape(), value.shape(), "optimizer slot shape changed");
 
         // m ← β₁ m + (1-β₁) g ; v ← β₂ v + (1-β₂) g².
@@ -241,7 +241,12 @@ mod tests {
             }
             w.frobenius_norm()
         };
-        assert!(run(0.9) < run(0.0), "momentum did not help: {} vs {}", run(0.9), run(0.0));
+        assert!(
+            run(0.9) < run(0.0),
+            "momentum did not help: {} vs {}",
+            run(0.9),
+            run(0.0)
+        );
     }
 
     #[test]

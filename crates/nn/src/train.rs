@@ -183,11 +183,17 @@ pub fn train(
         }
         epoch_loss /= batches.max(1) as f64;
 
-        let train_acc = accuracy(&model.predict(x_train), y_train);
-        let val_acc = if y_val.is_empty() {
-            0.0
-        } else {
-            accuracy(&model.predict(x_val), y_val)
+        // Full-dataset forward passes: the allocation-heaviest stretch of
+        // an epoch, so it gets its own span for HQNN_ALLOC attribution.
+        let (train_acc, val_acc) = {
+            let _eval_span = telemetry::span("nn.evaluate");
+            let train_acc = accuracy(&model.predict(x_train), y_train);
+            let val_acc = if y_val.is_empty() {
+                0.0
+            } else {
+                accuracy(&model.predict(x_val), y_val)
+            };
+            (train_acc, val_acc)
         };
         report.best_train_accuracy = report.best_train_accuracy.max(train_acc);
         report.best_val_accuracy = report.best_val_accuracy.max(val_acc);

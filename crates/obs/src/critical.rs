@@ -1,0 +1,242 @@
+//! Critical-path extraction: the longest causal chain of spans.
+
+use crate::model::{fmt_us, Trace};
+use std::collections::BTreeMap;
+
+/// Renders the critical path of a trace: the chain of span occurrences,
+/// root to leaf, that dominates wall-clock time, with per-hop self time
+/// (duration minus the duration of its direct children on the chain's
+/// instance tree).
+///
+/// With causal IDs the chain follows real parent→child edges between span
+/// *occurrences*; ties are broken by (duration desc, path asc, span ID asc)
+/// so the output is deterministic. Legacy traces (no `span_id`) fall back
+/// to aggregating durations by span path and descending the path-prefix
+/// tree — coarser, but still a faithful "where did the time go" answer.
+pub fn critical_path(trace: &Trace) -> String {
+    let mut out = String::new();
+    if trace.spans.is_empty() {
+        out.push_str("no spans in trace\n");
+        return out;
+    }
+    if trace.has_causal_ids() {
+        out.push_str("critical path (causal span instances)\n");
+        render_causal(trace, &mut out);
+    } else {
+        out.push_str("critical path (path aggregate; trace has no span IDs)\n");
+        render_aggregate(trace, &mut out);
+    }
+    out
+}
+
+/// One hop of the rendered chain.
+struct Hop {
+    path: String,
+    dur_us: u64,
+    self_us: u64,
+    span_id: u64,
+}
+
+fn render_hops(hops: &[Hop], show_ids: bool, out: &mut String) {
+    out.push_str(&format!(
+        "{:<52} {:>10} {:>10} {:>7}{}\n",
+        "span",
+        "dur",
+        "self",
+        "self%",
+        if show_ids { "  span_id" } else { "" }
+    ));
+    let total: u64 = hops.first().map(|h| h.dur_us).unwrap_or(0);
+    for (depth, hop) in hops.iter().enumerate() {
+        let name = hop.path.rsplit('/').next().unwrap_or(&hop.path);
+        let pct = if total > 0 {
+            100.0 * hop.self_us as f64 / total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<52} {:>10} {:>10} {:>6.1}%{}\n",
+            format!("{}{}", "  ".repeat(depth), name),
+            fmt_us(hop.dur_us),
+            fmt_us(hop.self_us),
+            pct,
+            if show_ids {
+                format!("  {:016x}", hop.span_id)
+            } else {
+                String::new()
+            }
+        ));
+    }
+    if let Some(first) = hops.first() {
+        out.push_str(&format!(
+            "chain: {} hops, {} total\n",
+            hops.len(),
+            fmt_us(first.dur_us)
+        ));
+    }
+}
+
+fn render_causal(trace: &Trace, out: &mut String) {
+    // Index occurrences by ID; a duplicate ID (malformed trace) keeps the
+    // longer occurrence so the analysis stays total rather than failing.
+    let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, s) in trace.spans.iter().enumerate() {
+        if s.span_id == 0 {
+            continue;
+        }
+        match by_id.get(&s.span_id) {
+            Some(&prev) if trace.spans[prev].dur_us >= s.dur_us => {}
+            _ => {
+                by_id.insert(s.span_id, i);
+            }
+        }
+    }
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for &i in by_id.values() {
+        let s = &trace.spans[i];
+        if s.parent_id != 0 && by_id.contains_key(&s.parent_id) {
+            children.entry(s.parent_id).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+
+    let pick = |candidates: &[usize]| -> Option<usize> {
+        candidates.iter().copied().min_by(|&a, &b| {
+            let (sa, sb) = (&trace.spans[a], &trace.spans[b]);
+            sb.dur_us
+                .cmp(&sa.dur_us)
+                .then_with(|| sa.path.cmp(&sb.path))
+                .then_with(|| sa.span_id.cmp(&sb.span_id))
+        })
+    };
+
+    let mut hops: Vec<Hop> = Vec::new();
+    let mut cursor = pick(&roots);
+    while let Some(i) = cursor {
+        let s = &trace.spans[i];
+        let kids = children.get(&s.span_id).map(Vec::as_slice).unwrap_or(&[]);
+        let kids_total: u64 = kids.iter().map(|&k| trace.spans[k].dur_us).sum();
+        hops.push(Hop {
+            path: s.path.clone(),
+            dur_us: s.dur_us,
+            self_us: s.dur_us.saturating_sub(kids_total),
+            span_id: s.span_id,
+        });
+        cursor = pick(kids);
+    }
+    render_hops(&hops, true, out);
+}
+
+fn render_aggregate(trace: &Trace, out: &mut String) {
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for s in &trace.spans {
+        *totals.entry(s.path.as_str()).or_default() += s.dur_us;
+    }
+    let direct_children = |path: &str| -> Vec<&str> {
+        totals
+            .keys()
+            .copied()
+            .filter(|p| {
+                p.strip_prefix(path)
+                    .and_then(|rest| rest.strip_prefix('/'))
+                    .is_some_and(|rest| !rest.contains('/'))
+            })
+            .collect()
+    };
+    let pick = |candidates: &[&str]| -> Option<String> {
+        candidates
+            .iter()
+            .min_by(|a, b| totals[*b].cmp(&totals[*a]).then_with(|| a.cmp(b)))
+            .map(|p| p.to_string())
+    };
+
+    let roots: Vec<&str> = totals
+        .keys()
+        .copied()
+        .filter(|p| !p.contains('/'))
+        .collect();
+    let mut hops: Vec<Hop> = Vec::new();
+    let mut cursor = pick(&roots);
+    while let Some(path) = cursor {
+        let kids = direct_children(&path);
+        let kids_total: u64 = kids.iter().map(|k| totals[k]).sum();
+        let dur = totals[path.as_str()];
+        hops.push(Hop {
+            path: path.clone(),
+            dur_us: dur,
+            self_us: dur.saturating_sub(kids_total),
+            span_id: 0,
+        });
+        cursor = pick(&kids);
+    }
+    render_hops(&hops, false, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_chain_follows_instance_edges() {
+        let trace = Trace::parse(concat!(
+            r#"{"ts_us":50,"level":"debug","event":"span","span_id":"00000000000000c1","parent_id":"00000000000000b1","path":"root/mid/leaf","dur_us":30}"#,
+            "\n",
+            r#"{"ts_us":60,"level":"debug","event":"span","span_id":"00000000000000c2","parent_id":"00000000000000b1","path":"root/mid/leaf","dur_us":45}"#,
+            "\n",
+            r#"{"ts_us":90,"level":"debug","event":"span","span_id":"00000000000000b1","parent_id":"00000000000000a1","path":"root/mid","dur_us":80}"#,
+            "\n",
+            r#"{"ts_us":95,"level":"debug","event":"span","span_id":"00000000000000a1","path":"root","dur_us":92}"#,
+        ))
+        .expect("parse");
+        let report = critical_path(&trace);
+        assert!(report.contains("causal"), "{report}");
+        // The chain picks the *longer* leaf occurrence (c2, 45µs).
+        assert!(report.contains("00000000000000c2"), "{report}");
+        assert!(!report.contains("00000000000000c1"), "{report}");
+        assert!(report.contains("chain: 3 hops"), "{report}");
+        // Root self time: 92 - 80 = 12µs.
+        assert!(report.contains("12µs"), "{report}");
+    }
+
+    #[test]
+    fn legacy_trace_uses_path_aggregate_fallback() {
+        let trace = Trace::parse(concat!(
+            r#"{"ts_us":10,"level":"debug","event":"span","path":"run/step","dur_us":40}"#,
+            "\n",
+            r#"{"ts_us":20,"level":"debug","event":"span","path":"run/step","dur_us":50}"#,
+            "\n",
+            r#"{"ts_us":30,"level":"debug","event":"span","path":"run","dur_us":100}"#,
+        ))
+        .expect("parse");
+        let report = critical_path(&trace);
+        assert!(report.contains("path aggregate"), "{report}");
+        assert!(report.contains("chain: 2 hops"), "{report}");
+        // run self = 100 - 90 aggregated children.
+        assert!(report.contains("10µs"), "{report}");
+    }
+
+    #[test]
+    fn empty_trace_says_so() {
+        let trace = Trace::parse("").expect("parse");
+        assert_eq!(critical_path(&trace), "no spans in trace\n");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let src = concat!(
+            r#"{"ts_us":50,"level":"debug","event":"span","span_id":"0000000000000001","path":"a","dur_us":30}"#,
+            "\n",
+            r#"{"ts_us":51,"level":"debug","event":"span","span_id":"0000000000000002","path":"b","dur_us":30}"#,
+        );
+        let t = Trace::parse(src).expect("parse");
+        let first = critical_path(&t);
+        // Equal-duration roots tie-break on path: `a` wins, every time.
+        assert!(
+            first.lines().nth(2).is_some_and(|l| l.starts_with('a')),
+            "{first}"
+        );
+        assert_eq!(first, critical_path(&t));
+    }
+}

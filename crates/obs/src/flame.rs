@@ -1,0 +1,129 @@
+//! Collapsed-stack flamegraph diff output.
+
+use crate::model::Trace;
+use std::collections::BTreeMap;
+
+/// What a collapsed stack's weight counts.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FlameWeight {
+    /// Self time in microseconds (cumulative minus direct children).
+    TimeUs,
+    /// Self allocated bytes (requires traces recorded with `HQNN_ALLOC=1`).
+    AllocBytes,
+}
+
+impl FlameWeight {
+    /// Parses the CLI spelling (`time` | `bytes`).
+    pub fn parse(raw: &str) -> Option<FlameWeight> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "time" | "us" | "time-us" => Some(FlameWeight::TimeUs),
+            "bytes" | "alloc" | "alloc-bytes" => Some(FlameWeight::AllocBytes),
+            _ => None,
+        }
+    }
+}
+
+/// Emits a two-column collapsed-stack diff in the `difffolded.pl` format
+/// consumed by `flamegraph.pl --negate`:
+///
+/// ```text
+/// repro;search;combo 1200 1500
+/// ```
+///
+/// Each line is a semicolon-joined span path followed by the baseline and
+/// current *self* weight (time in µs, or allocated bytes with
+/// `FlameWeight::AllocBytes`). Self weight is the path's total minus its
+/// direct children's totals, clamped at zero — children that ran on worker
+/// threads can out-measure their parent's same-thread window, and a
+/// negative flame frame is meaningless. Stacks are sorted, so byte-equal
+/// inputs give byte-equal output.
+pub fn flamegraph_diff(baseline: &Trace, current: &Trace, weight: FlameWeight) -> String {
+    let base = self_weights(baseline, weight);
+    let cur = self_weights(current, weight);
+    let stacks: std::collections::BTreeSet<&str> =
+        base.keys().chain(cur.keys()).map(String::as_str).collect();
+    let mut out = String::new();
+    for stack in stacks {
+        let a = base.get(stack).copied().unwrap_or(0);
+        let b = cur.get(stack).copied().unwrap_or(0);
+        out.push_str(&format!("{} {} {}\n", stack.replace('/', ";"), a, b));
+    }
+    out
+}
+
+/// Per-path self weight: total minus direct-children totals, clamped at 0.
+fn self_weights(trace: &Trace, weight: FlameWeight) -> BTreeMap<String, u64> {
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for s in &trace.spans {
+        let w = match weight {
+            FlameWeight::TimeUs => s.dur_us,
+            FlameWeight::AllocBytes => s.alloc_bytes,
+        };
+        *totals.entry(s.path.as_str()).or_default() += w;
+    }
+    totals
+        .iter()
+        .map(|(path, total)| {
+            let children: u64 = totals
+                .iter()
+                .filter(|(p, _)| {
+                    p.strip_prefix(*path)
+                        .and_then(|rest| rest.strip_prefix('/'))
+                        .is_some_and(|rest| !rest.contains('/'))
+                })
+                .map(|(_, w)| w)
+                .sum();
+            (path.to_string(), total.saturating_sub(children))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(spans: &[(&str, u64, u64)]) -> Trace {
+        let lines: Vec<String> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, (p, dur, bytes))| {
+                format!(
+                    r#"{{"ts_us":{i},"level":"debug","event":"span","path":"{p}","dur_us":{dur},"alloc_bytes":{bytes},"alloc_count":1,"peak_bytes":0}}"#
+                )
+            })
+            .collect();
+        Trace::parse(&lines.join("\n")).expect("parse")
+    }
+
+    #[test]
+    fn time_weights_are_self_time() {
+        let a = trace_of(&[("run", 100, 0), ("run/step", 60, 0)]);
+        let b = trace_of(&[("run", 130, 0), ("run/step", 70, 0)]);
+        let out = flamegraph_diff(&a, &b, FlameWeight::TimeUs);
+        assert_eq!(out, "run 40 60\nrun;step 60 70\n");
+    }
+
+    #[test]
+    fn byte_weights_and_missing_stacks_are_zero_filled() {
+        let a = trace_of(&[("run", 100, 4096)]);
+        let b = trace_of(&[("run", 100, 1024), ("run/new", 10, 512)]);
+        let out = flamegraph_diff(&a, &b, FlameWeight::AllocBytes);
+        assert_eq!(out, "run 4096 512\nrun;new 0 512\n");
+    }
+
+    #[test]
+    fn worker_heavy_children_clamp_to_zero() {
+        // A parent whose same-thread window saw less than its (worker-side)
+        // children must not produce a negative frame.
+        let a = trace_of(&[("run", 10, 0), ("run/w", 100, 0)]);
+        let out = flamegraph_diff(&a, &a, FlameWeight::TimeUs);
+        assert_eq!(out, "run 0 0\nrun;w 100 100\n");
+    }
+
+    #[test]
+    fn weight_parsing() {
+        assert_eq!(FlameWeight::parse("time"), Some(FlameWeight::TimeUs));
+        assert_eq!(FlameWeight::parse("BYTES"), Some(FlameWeight::AllocBytes));
+        assert_eq!(FlameWeight::parse("flops"), None);
+    }
+}

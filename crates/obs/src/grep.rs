@@ -1,0 +1,129 @@
+//! Structured grep over trace events.
+
+use crate::model::{ObsError, Trace};
+use hqnn_telemetry::Event;
+
+/// One `key=value` filter. All filters given to [`grep`] must match
+/// (logical AND).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Filter {
+    /// Field name, or one of the built-ins `event`, `level`, `span_id`,
+    /// `parent_id`.
+    pub key: String,
+    /// Value to match, compared against the field's display rendering.
+    pub value: String,
+}
+
+impl Filter {
+    /// Parses the CLI spelling `key=value`.
+    pub fn parse(raw: &str) -> Result<Filter, ObsError> {
+        match raw.split_once('=') {
+            Some((key, value)) if !key.is_empty() => Ok(Filter {
+                key: key.to_string(),
+                value: value.to_string(),
+            }),
+            _ => Err(ObsError::BadRequest(format!(
+                "filter {raw:?} is not key=value"
+            ))),
+        }
+    }
+
+    fn matches(&self, ev: &Event) -> bool {
+        match self.key.as_str() {
+            "event" => ev.name == self.value,
+            "level" => ev.level.as_str() == self.value,
+            "span_id" => matches_id(ev.span_id, &self.value),
+            "parent_id" => matches_id(ev.parent_id, &self.value),
+            key => ev
+                .fields
+                .iter()
+                .any(|(k, v)| k == key && v.to_string() == self.value),
+        }
+    }
+}
+
+/// Accepts both the zero-padded wire form (`00000000000000c1`) and a bare
+/// hex spelling (`c1`).
+fn matches_id(id: Option<u64>, value: &str) -> bool {
+    match (id, u64::from_str_radix(value.trim_start_matches("0x"), 16)) {
+        (Some(id), Ok(want)) => id == want,
+        _ => false,
+    }
+}
+
+/// Filters the trace's events and re-emits the matches as canonical JSONL
+/// (one [`Event`] per line, serialized exactly as the telemetry sink writes
+/// them — so grep output is itself a loadable trace).
+pub fn grep(trace: &Trace, filters: &[Filter]) -> Result<String, ObsError> {
+    let mut out = String::new();
+    for ev in &trace.events {
+        if filters.iter().all(|f| f.matches(ev)) {
+            let line = serde_json::to_string(ev)
+                .map_err(|e| ObsError::BadRequest(format!("cannot re-serialize event: {e}")))?;
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"ts_us":10,"level":"info","event":"study.start","run":"a"}
+{"ts_us":50,"level":"debug","event":"span","span_id":"00000000000000c1","parent_id":"00000000000000b1","path":"repro/search","dur_us":30}
+{"ts_us":60,"level":"error","event":"nn.health_nan","epoch":3}
+"#;
+
+    fn filters(specs: &[&str]) -> Vec<Filter> {
+        specs
+            .iter()
+            .map(|s| Filter::parse(s).expect("filter"))
+            .collect()
+    }
+
+    #[test]
+    fn filters_by_name_level_and_fields() {
+        let t = Trace::parse(SAMPLE).expect("parse");
+        let by_name = grep(&t, &filters(&["event=span"])).expect("grep");
+        assert_eq!(by_name.lines().count(), 1);
+        assert!(by_name.contains("repro/search"));
+
+        let by_level = grep(&t, &filters(&["level=error"])).expect("grep");
+        assert!(by_level.contains("nn.health_nan"));
+
+        let by_field = grep(&t, &filters(&["epoch=3"])).expect("grep");
+        assert_eq!(by_field.lines().count(), 1);
+
+        let conj = grep(&t, &filters(&["event=span", "path=elsewhere"])).expect("grep");
+        assert!(conj.is_empty());
+    }
+
+    #[test]
+    fn span_ids_match_padded_and_bare_hex() {
+        let t = Trace::parse(SAMPLE).expect("parse");
+        for spelling in ["span_id=00000000000000c1", "span_id=c1", "span_id=0xc1"] {
+            let out = grep(&t, &filters(&[spelling])).expect("grep");
+            assert_eq!(out.lines().count(), 1, "{spelling}");
+        }
+        let parent = grep(&t, &filters(&["parent_id=b1"])).expect("grep");
+        assert_eq!(parent.lines().count(), 1);
+    }
+
+    #[test]
+    fn output_is_itself_a_loadable_trace() {
+        let t = Trace::parse(SAMPLE).expect("parse");
+        let out = grep(&t, &filters(&["event=span"])).expect("grep");
+        let reloaded = Trace::parse(&out).expect("reload");
+        assert_eq!(reloaded.spans.len(), 1);
+        assert_eq!(reloaded.spans[0].span_id, 0xc1);
+    }
+
+    #[test]
+    fn bad_filter_spelling_errors() {
+        assert!(Filter::parse("no-equals").is_err());
+        assert!(Filter::parse("=value").is_err());
+        assert!(Filter::parse("key=").is_ok()); // empty value is a legal match target
+    }
+}

@@ -1,0 +1,135 @@
+//! Span-tree rendering with latency percentiles, alloc columns, and
+//! counter deltas.
+
+use crate::model::{fmt_bytes, fmt_us, median_u64, percentile_u64, Trace};
+use std::collections::BTreeMap;
+
+struct PathAgg {
+    count: u64,
+    total_us: u64,
+    samples: Vec<u64>,
+    alloc_count: u64,
+    alloc_bytes: u64,
+    peak_bytes: u64,
+}
+
+/// Renders the span tree of a trace: one row per span path in depth-first
+/// order with occurrence count, cumulative time, p50/p95/p99 durations
+/// (nearest-rank over the path's occurrences), and — when the trace was
+/// recorded with `HQNN_ALLOC=1` — allocation totals per path. Counter
+/// deltas (see [`Trace::counter_deltas`]) follow the tree.
+pub fn tree(trace: &Trace) -> String {
+    let mut out = String::new();
+    if trace.spans.is_empty() {
+        out.push_str("no spans in trace\n");
+    } else {
+        let mut aggs: BTreeMap<&str, PathAgg> = BTreeMap::new();
+        for s in &trace.spans {
+            let agg = aggs.entry(s.path.as_str()).or_insert_with(|| PathAgg {
+                count: 0,
+                total_us: 0,
+                samples: Vec::new(),
+                alloc_count: 0,
+                alloc_bytes: 0,
+                peak_bytes: 0,
+            });
+            agg.count += 1;
+            agg.total_us += s.dur_us;
+            agg.samples.push(s.dur_us);
+            agg.alloc_count += s.alloc_count;
+            agg.alloc_bytes += s.alloc_bytes;
+            agg.peak_bytes = agg.peak_bytes.max(s.peak_bytes);
+        }
+        let has_alloc = aggs
+            .values()
+            .any(|a| a.alloc_count > 0 || a.alloc_bytes > 0 || a.peak_bytes > 0);
+        out.push_str(&format!(
+            "{:<44} {:>7} {:>10} {:>9} {:>9} {:>9}",
+            "span", "count", "total", "p50", "p95", "p99"
+        ));
+        if has_alloc {
+            out.push_str(&format!(
+                " {:>9} {:>10} {:>10}",
+                "allocs", "alloc-mem", "peak"
+            ));
+        }
+        out.push('\n');
+        for (path, agg) in &aggs {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            out.push_str(&format!(
+                "{:<44} {:>7} {:>10} {:>9} {:>9} {:>9}",
+                format!("{}{}", "  ".repeat(depth), name),
+                agg.count,
+                fmt_us(agg.total_us),
+                fmt_us(median_u64(&agg.samples)),
+                fmt_us(percentile_u64(&agg.samples, 95)),
+                fmt_us(percentile_u64(&agg.samples, 99)),
+            ));
+            if has_alloc {
+                out.push_str(&format!(
+                    " {:>9} {:>10} {:>10}",
+                    agg.alloc_count,
+                    fmt_bytes(agg.alloc_bytes),
+                    fmt_bytes(agg.peak_bytes),
+                ));
+            }
+            out.push('\n');
+        }
+    }
+
+    let deltas = trace.counter_deltas();
+    if !deltas.is_empty() {
+        out.push_str(&format!(
+            "counters ({})\n",
+            if trace.metrics_events > 1 {
+                "delta last-first"
+            } else {
+                "run totals"
+            }
+        ));
+        for (name, value) in &deltas {
+            out.push_str(&format!("  {name:<42} {value:>20}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_tree_percentiles_and_counters() {
+        let trace = Trace::parse(concat!(
+            r#"{"ts_us":10,"level":"debug","event":"span","path":"run/step","dur_us":40}"#,
+            "\n",
+            r#"{"ts_us":20,"level":"debug","event":"span","path":"run/step","dur_us":60}"#,
+            "\n",
+            r#"{"ts_us":30,"level":"debug","event":"span","path":"run","dur_us":120}"#,
+            "\n",
+            r#"{"ts_us":40,"level":"debug","event":"telemetry.metrics","par.items":64}"#,
+        ))
+        .expect("parse");
+        let report = tree(&trace);
+        assert!(report.contains("run"), "{report}");
+        assert!(report.contains("  step"), "{report}");
+        assert!(report.contains("60µs"), "{report}"); // p50 upper median of {40,60}
+        assert!(report.contains("counters (run totals)"), "{report}");
+        assert!(report.contains("par.items"), "{report}");
+        assert!(!report.contains("alloc-mem"), "{report}");
+        assert_eq!(report, tree(&trace));
+    }
+
+    #[test]
+    fn alloc_columns_appear_when_trace_has_alloc_data() {
+        let trace = Trace::parse(
+            r#"{"ts_us":10,"level":"debug","event":"span","path":"run","dur_us":40,"alloc_count":3,"alloc_bytes":4096,"peak_bytes":2048}"#,
+        )
+        .expect("parse");
+        let report = tree(&trace);
+        assert!(report.contains("alloc-mem"), "{report}");
+        assert!(report.contains("4.0KiB"), "{report}");
+        assert!(report.contains("2.0KiB"), "{report}");
+    }
+}

@@ -142,19 +142,28 @@ fn parse() -> Args {
 /// `--trend` mode: fold the committed history series into a trajectory
 /// report, print it (and optionally write it), run no benchmarks.
 fn run_trend(dir: &PathBuf, out: Option<&PathBuf>) -> ! {
+    // A missing or empty history directory is the normal state of a fresh
+    // clone (or a CI cache miss), not an error: report it and exit cleanly.
     let history = match trend::load_history(dir) {
         Ok(history) => history,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => {
             eprintln!("could not read history dir {}: {e}", dir.display());
             exit(2);
         }
     };
     if history.is_empty() {
-        eprintln!(
-            "no BENCH_*.json entries in {}; run `make bench` to append one",
+        println!(
+            "no history yet: no BENCH_*.json entries in {}; run `make bench` to append one",
             dir.display()
         );
-        exit(2);
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(path, "no history yet\n") {
+                eprintln!("could not write trend report {}: {e}", path.display());
+                exit(1);
+            }
+        }
+        exit(0);
     }
     let trends = trend::trends(&history);
     let rendered = trend::render(&trends);

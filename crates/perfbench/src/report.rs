@@ -46,6 +46,16 @@ pub struct BenchResult {
     /// bench (matmul ≡ 1.0) — how efficiently this workload turns time into
     /// modelled arithmetic compared to a dense kernel.
     pub efficiency_ratio: Option<f64>,
+    /// Allocations per timed iteration (present only when the run was made
+    /// with `HQNN_ALLOC=1`; `default` keeps pre-alloc baselines loadable).
+    #[serde(default)]
+    pub allocs_per_iter: Option<u64>,
+    /// Bytes allocated per timed iteration (same condition).
+    #[serde(default)]
+    pub alloc_bytes_per_iter: Option<u64>,
+    /// Peak live bytes above entry level across the whole timed loop.
+    #[serde(default)]
+    pub peak_alloc_bytes: Option<u64>,
 }
 
 impl BenchResult {
@@ -76,7 +86,27 @@ impl BenchResult {
             analytic_flops_per_iter,
             measured_flops_per_sec: analytic_flops_per_iter.map(|f| f as f64 / median_s),
             efficiency_ratio: None,
+            allocs_per_iter: None,
+            alloc_bytes_per_iter: None,
+            peak_alloc_bytes: None,
         }
+    }
+
+    /// Attaches the allocation delta measured around the timed loop,
+    /// amortised per iteration. A `None` delta (counting disabled) leaves
+    /// the result untouched.
+    pub fn with_alloc(
+        mut self,
+        delta: Option<hqnn_telemetry::alloc::AllocDelta>,
+        iters: u64,
+    ) -> Self {
+        if let Some(delta) = delta {
+            let iters = iters.max(1);
+            self.allocs_per_iter = Some(delta.count / iters);
+            self.alloc_bytes_per_iter = Some(delta.bytes / iters);
+            self.peak_alloc_bytes = Some(delta.peak_bytes);
+        }
+        self
     }
 }
 
@@ -161,13 +191,22 @@ impl BenchReport {
             self.manifest.threads,
             self.manifest.profile,
         ));
+        // Alloc columns only when the run carried alloc data (HQNN_ALLOC=1).
+        let has_alloc = self.results.iter().any(|r| r.allocs_per_iter.is_some());
         out.push_str(&format!(
-            "{:<26} {:>12} {:>10} {:>26} {:>12} {:>11}\n",
+            "{:<26} {:>12} {:>10} {:>26} {:>12} {:>11}",
             "benchmark", "median", "mad", "throughput", "mflops/s", "efficiency"
         ));
+        if has_alloc {
+            out.push_str(&format!(
+                " {:>10} {:>12} {:>10}",
+                "allocs/it", "alloc-b/it", "peak-b"
+            ));
+        }
+        out.push('\n');
         for r in &self.results {
             out.push_str(&format!(
-                "{:<26} {:>12} {:>10} {:>26} {:>12} {:>11}\n",
+                "{:<26} {:>12} {:>10} {:>26} {:>12} {:>11}",
                 r.id,
                 fmt_ns(r.median_ns),
                 fmt_ns(r.mad_ns),
@@ -179,6 +218,17 @@ impl BenchReport {
                     .map(|e| format!("{e:.3}"))
                     .unwrap_or_else(|| "-".to_string()),
             ));
+            if has_alloc {
+                let opt =
+                    |v: Option<u64>| v.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string());
+                out.push_str(&format!(
+                    " {:>10} {:>12} {:>10}",
+                    opt(r.allocs_per_iter),
+                    opt(r.alloc_bytes_per_iter),
+                    opt(r.peak_alloc_bytes),
+                ));
+            }
+            out.push('\n');
         }
         out
     }

@@ -88,11 +88,18 @@ impl Benchmark {
             (self.run)();
         }
         let mut samples = Vec::with_capacity(iters as usize);
-        for _ in 0..iters {
-            let start = Instant::now();
-            (self.run)();
-            samples.push(start.elapsed().as_nanos() as u64);
-        }
+        // With HQNN_ALLOC=1 the timed loop runs inside an allocation
+        // window, adding alloc columns to the report; counting never
+        // perturbs the workload itself (see hqnn-alloc), and `samples` is
+        // preallocated so the loop's own bookkeeping stays out of the
+        // numbers.
+        let (_, alloc) = telemetry::alloc::measure(|| {
+            for _ in 0..iters {
+                let start = Instant::now();
+                (self.run)();
+                samples.push(start.elapsed().as_nanos() as u64);
+            }
+        });
         let summary = stats::summarize(&samples);
         telemetry::event(
             telemetry::Level::Info,
@@ -112,6 +119,7 @@ impl Benchmark {
             self.throughput_unit,
             self.analytic_flops_per_iter,
         )
+        .with_alloc(alloc, iters as u64)
     }
 }
 

@@ -94,12 +94,15 @@ pub fn trends(history: &[BenchReport]) -> Vec<BenchTrend> {
     for report in history {
         let stamp = stamp(report.manifest.timestamp_unix);
         for result in &report.results {
-            by_id.entry(result.id.clone()).or_default().push(TrendPoint {
-                stamp: stamp.clone(),
-                git_sha: report.manifest.git_sha.clone(),
-                median_ns: result.median_ns,
-                mad_ns: result.mad_ns,
-            });
+            by_id
+                .entry(result.id.clone())
+                .or_default()
+                .push(TrendPoint {
+                    stamp: stamp.clone(),
+                    git_sha: report.manifest.git_sha.clone(),
+                    median_ns: result.median_ns,
+                    mad_ns: result.mad_ns,
+                });
         }
     }
     by_id

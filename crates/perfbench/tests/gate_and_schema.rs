@@ -172,9 +172,18 @@ fn schema_snapshot_stays_parseable() {
     assert_eq!(report.schema_version, SCHEMA_VERSION);
     assert_eq!(report.manifest.git_sha, "0123456789ab");
     assert_eq!(report.manifest.threads, 8);
-    // Snapshot predates the manifest's `fuse` field; absent parses as false.
+    // Snapshot predates the manifest's `fuse` and `alloc` fields; absent
+    // parses as false.
     assert!(!report.manifest.fuse);
+    assert!(!report.manifest.alloc);
     assert_eq!(report.results.len(), 2);
+
+    // Snapshot also predates the per-result alloc columns.
+    for result in &report.results {
+        assert_eq!(result.allocs_per_iter, None);
+        assert_eq!(result.alloc_bytes_per_iter, None);
+        assert_eq!(result.peak_alloc_bytes, None);
+    }
 
     let matmul = report.result(REFERENCE_BENCH).expect("matmul present");
     assert_eq!(matmul.median_ns, 250_000);

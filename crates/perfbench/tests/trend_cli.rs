@@ -1,0 +1,67 @@
+//! CLI regression tests for `perfbench --trend` on absent history.
+//!
+//! A fresh checkout has no `bench/history/` directory and a fresh CI cache
+//! has an empty one; both used to exit 2, failing pipelines that merely
+//! wanted a trend report "if there is one". Both must now print a friendly
+//! "no history yet" note and exit 0 (real IO errors still exit non-zero).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn perfbench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_perfbench"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hqnn-trend-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn trend_on_missing_history_dir_is_a_clean_noop() {
+    let dir = scratch_dir("missing");
+    let out = perfbench()
+        .arg("--trend")
+        .arg(&dir)
+        .output()
+        .expect("run perfbench");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}; stdout={stdout} stderr={}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("no history yet"),
+        "stdout should explain the empty state: {stdout}"
+    );
+}
+
+#[test]
+fn trend_on_empty_history_dir_is_a_clean_noop_and_writes_trend_out() {
+    let dir = scratch_dir("empty");
+    std::fs::create_dir_all(&dir).expect("create empty history dir");
+    let report = dir.join("trend.txt");
+    let out = perfbench()
+        .arg("--trend")
+        .arg(&dir)
+        .arg("--trend-out")
+        .arg(&report)
+        .output()
+        .expect("run perfbench");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}; stdout={stdout} stderr={}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("no history yet"), "stdout: {stdout}");
+    // CI uploads the --trend-out path unconditionally, so the file must
+    // exist even when there is nothing to report.
+    let written = std::fs::read_to_string(&report).expect("trend-out written");
+    assert!(written.contains("no history yet"), "trend-out: {written}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -245,7 +245,12 @@ impl QnnTemplate {
 
     /// `"BEL(3q,2l)"`-style label used in experiment reports.
     pub fn label(&self) -> String {
-        format!("{}({}q,{}l)", self.kind.short_name(), self.n_qubits, self.depth)
+        format!(
+            "{}({}q,{}l)",
+            self.kind.short_name(),
+            self.n_qubits,
+            self.depth
+        )
     }
 }
 
@@ -300,7 +305,7 @@ mod tests {
         let mut c = Circuit::new(4);
         let used = strongly_entangling_layers(&mut c, 3, 0);
         assert_eq!(used, 36); // 3 layers × 4 wires × 3
-        // Layer ranges cycle 1, 2, 3 for 4 wires.
+                              // Layer ranges cycle 1, 2, 3 for 4 wires.
         let cnots: Vec<_> = c
             .ops()
             .iter()
@@ -335,10 +340,22 @@ mod tests {
     fn template_paper_configurations() {
         // The paper's winning configs: SEL(3,2) = 18 params, BEL(3,2) = 6,
         // BEL(3,4) = 12, BEL(4,4) = 16.
-        assert_eq!(QnnTemplate::new(3, 2, EntanglerKind::Strong).param_count(), 18);
-        assert_eq!(QnnTemplate::new(3, 2, EntanglerKind::Basic).param_count(), 6);
-        assert_eq!(QnnTemplate::new(3, 4, EntanglerKind::Basic).param_count(), 12);
-        assert_eq!(QnnTemplate::new(4, 4, EntanglerKind::Basic).param_count(), 16);
+        assert_eq!(
+            QnnTemplate::new(3, 2, EntanglerKind::Strong).param_count(),
+            18
+        );
+        assert_eq!(
+            QnnTemplate::new(3, 2, EntanglerKind::Basic).param_count(),
+            6
+        );
+        assert_eq!(
+            QnnTemplate::new(3, 4, EntanglerKind::Basic).param_count(),
+            12
+        );
+        assert_eq!(
+            QnnTemplate::new(4, 4, EntanglerKind::Basic).param_count(),
+            16
+        );
     }
 
     #[test]

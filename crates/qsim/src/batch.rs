@@ -71,9 +71,7 @@ impl Circuit {
         self.check_batch(inputs, params);
         let _span = hqnn_telemetry::span("qsim.run_batch");
         let mode = BatchMode::resolve(self, params);
-        hqnn_runtime::par_map_range(inputs.rows(), |r| {
-            mode.run_row(self, inputs.row(r), params)
-        })
+        hqnn_runtime::par_map_range(inputs.rows(), |r| mode.run_row(self, inputs.row(r), params))
     }
 
     /// Runs the circuit once per row of `inputs` and evaluates every

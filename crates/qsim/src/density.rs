@@ -238,7 +238,10 @@ impl DensityMatrix {
     ///
     /// Panics if the wires coincide or are out of range.
     pub fn apply_controlled(&mut self, m: &Matrix2, control: usize, target: usize) {
-        assert!(control < self.n_qubits && target < self.n_qubits, "wire out of range");
+        assert!(
+            control < self.n_qubits && target < self.n_qubits,
+            "wire out of range"
+        );
         assert_ne!(control, target, "control and target must differ");
         // Build the full 4-dim controlled action via the |1⟩⟨1| projector
         // trick on both sides: apply to rows where control bit is 1.
@@ -287,7 +290,10 @@ impl DensityMatrix {
     /// Panics if `target >= n_qubits` or `kraus` is empty.
     pub fn apply_kraus(&mut self, kraus: &[Matrix2], target: usize) {
         assert!(target < self.n_qubits, "target wire out of range");
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         let mut acc = vec![C64::ZERO; self.elems.len()];
         for k in kraus {
             let mut term = self.clone();
@@ -417,7 +423,10 @@ mod tests {
             );
         }
         for i in 0..8 {
-            assert!((rho.probability(i) - psi.probability(i)).abs() < 1e-10, "idx {i}");
+            assert!(
+                (rho.probability(i) - psi.probability(i)).abs() < 1e-10,
+                "idx {i}"
+            );
         }
     }
 

@@ -65,7 +65,11 @@ impl GateKind {
     /// Number of wires the gate acts on (1 or 2).
     pub fn arity(self) -> usize {
         match self {
-            GateKind::Cnot | GateKind::Cz | GateKind::Swap | GateKind::Crx | GateKind::Cry
+            GateKind::Cnot
+            | GateKind::Cz
+            | GateKind::Swap
+            | GateKind::Crx
+            | GateKind::Cry
             | GateKind::Crz => 2,
             _ => 1,
         }
@@ -130,8 +134,14 @@ impl GateKind {
             GateKind::Z | GateKind::Cz => [[o, z], [z, -o]],
             GateKind::S => [[o, z], [z, i]],
             GateKind::Sdg => [[o, z], [z, -i]],
-            GateKind::T => [[o, z], [z, C64::from_polar_unit(std::f64::consts::FRAC_PI_4)]],
-            GateKind::Tdg => [[o, z], [z, C64::from_polar_unit(-std::f64::consts::FRAC_PI_4)]],
+            GateKind::T => [
+                [o, z],
+                [z, C64::from_polar_unit(std::f64::consts::FRAC_PI_4)],
+            ],
+            GateKind::Tdg => [
+                [o, z],
+                [z, C64::from_polar_unit(-std::f64::consts::FRAC_PI_4)],
+            ],
             GateKind::RX | GateKind::Crx => {
                 let c = C64::from(half.cos());
                 let s = C64::new(0.0, -half.sin());
@@ -172,9 +182,7 @@ impl GateKind {
                 [C64::from_polar_unit(-half) * C64::new(0.0, -0.5), z],
                 [z, C64::from_polar_unit(half) * C64::new(0.0, 0.5)],
             ]),
-            GateKind::PhaseShift => {
-                Some([[z, z], [z, C64::from_polar_unit(theta) * C64::i()]])
-            }
+            GateKind::PhaseShift => Some([[z, z], [z, C64::from_polar_unit(theta) * C64::i()]]),
             _ => None,
         }
     }
@@ -240,7 +248,12 @@ mod tests {
 
     #[test]
     fn rotation_at_zero_is_identity() {
-        for g in [GateKind::RX, GateKind::RY, GateKind::RZ, GateKind::PhaseShift] {
+        for g in [
+            GateKind::RX,
+            GateKind::RY,
+            GateKind::RZ,
+            GateKind::PhaseShift,
+        ] {
             let m = g.matrix(0.0);
             assert!(m[0][0].approx_eq(C64::ONE, 1e-12));
             assert!(m[1][1].approx_eq(C64::ONE, 1e-12));

@@ -133,7 +133,10 @@ pub fn parameter_shift(
     // evaluations below — the whole engine ignores the fusion flag.
     let base_state = circuit.run_unfused(inputs, params);
     let mut grads = Gradients {
-        expectations: observables.iter().map(|o| o.expectation(&base_state)).collect(),
+        expectations: observables
+            .iter()
+            .map(|o| o.expectation(&base_state))
+            .collect(),
         d_params: Matrix::zeros(n_obs, circuit.trainable_count()),
         d_inputs: Matrix::zeros(n_obs, circuit.input_count()),
     };

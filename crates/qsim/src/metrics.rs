@@ -69,9 +69,7 @@ pub fn meyer_wallach(state: &StateVector) -> f64 {
     for wire in 0..n {
         let rho = reduced_density_matrix(state, wire);
         // Tr ρ² for a 2×2 Hermitian matrix.
-        purity_sum += rho[0][0].norm_sqr()
-            + rho[1][1].norm_sqr()
-            + 2.0 * rho[0][1].norm_sqr();
+        purity_sum += rho[0][0].norm_sqr() + rho[1][1].norm_sqr() + 2.0 * rho[0][1].norm_sqr();
     }
     2.0 * (1.0 - purity_sum / n as f64)
 }
@@ -100,11 +98,7 @@ fn random_state(template: &QnnTemplate, rng: &mut SeededRng) -> StateVector {
 /// # Panics
 ///
 /// Panics if `samples == 0`.
-pub fn entangling_capability(
-    template: &QnnTemplate,
-    samples: usize,
-    rng: &mut SeededRng,
-) -> f64 {
+pub fn entangling_capability(template: &QnnTemplate, samples: usize, rng: &mut SeededRng) -> f64 {
     assert!(samples > 0, "need at least one sample");
     (0..samples)
         .map(|_| meyer_wallach(&random_state(template, rng)))
@@ -213,7 +207,8 @@ mod tests {
         // Entangling capability is comparable between the two designs (both
         // use CNOT rings); the *expressibility* axis is where they differ.
         let mut rng = SeededRng::new(5);
-        let bel = entangling_capability(&QnnTemplate::new(3, 2, EntanglerKind::Basic), 60, &mut rng);
+        let bel =
+            entangling_capability(&QnnTemplate::new(3, 2, EntanglerKind::Basic), 60, &mut rng);
         let sel =
             entangling_capability(&QnnTemplate::new(3, 2, EntanglerKind::Strong), 60, &mut rng);
         assert!(sel > 0.4, "SEL Q = {sel}");
@@ -251,9 +246,18 @@ mod tests {
     #[test]
     fn deeper_circuits_are_more_expressible() {
         let mut rng = SeededRng::new(11);
-        let shallow =
-            expressibility(&QnnTemplate::new(3, 1, EntanglerKind::Basic), 400, 40, &mut rng);
-        let deep = expressibility(&QnnTemplate::new(3, 6, EntanglerKind::Basic), 400, 40, &mut rng);
+        let shallow = expressibility(
+            &QnnTemplate::new(3, 1, EntanglerKind::Basic),
+            400,
+            40,
+            &mut rng,
+        );
+        let deep = expressibility(
+            &QnnTemplate::new(3, 6, EntanglerKind::Basic),
+            400,
+            40,
+            &mut rng,
+        );
         assert!(deep < shallow, "deep {deep:.4} ≥ shallow {shallow:.4}");
     }
 

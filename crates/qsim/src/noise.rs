@@ -31,7 +31,10 @@ impl NoiseChannel {
     /// Panics if the operators are empty or do not satisfy the completeness
     /// relation `Σ K† K = I` to within `1e-9`.
     pub fn from_kraus(name: impl Into<String>, kraus: Vec<Matrix2>) -> Self {
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         let mut sum = [[C64::ZERO; 2]; 2];
         for k in &kraus {
             let kk = matmul2(&dagger(k), k);
@@ -70,9 +73,9 @@ impl NoiseChannel {
             format!("depolarizing({p})"),
             vec![
                 [[k0, z], [z, k0]],
-                [[z, kp], [kp, z]],                 // √(p/4) X
-                [[z, kp * -i], [kp * i, z]],        // √(p/4) Y
-                [[kp, z], [z, -kp]],                // √(p/4) Z
+                [[z, kp], [kp, z]],          // √(p/4) X
+                [[z, kp * -i], [kp * i, z]], // √(p/4) Y
+                [[kp, z], [z, -kp]],         // √(p/4) Z
             ],
         )
     }
@@ -264,7 +267,11 @@ mod tests {
         c.h(0);
         c.cnot(0, 1);
         let rho = DensityMatrix::run_noisy(&c, &[], &[], &NoiseModel::depolarizing(1.0));
-        assert!((rho.purity() - 0.25).abs() < 1e-9, "purity {}", rho.purity());
+        assert!(
+            (rho.purity() - 0.25).abs() < 1e-9,
+            "purity {}",
+            rho.purity()
+        );
         assert!(rho.expectation_z(0).abs() < 1e-10);
     }
 

@@ -77,7 +77,10 @@ impl Observable {
     /// Panics if the same wire appears twice or the string is empty.
     pub fn pauli_string(factors: impl IntoIterator<Item = (usize, Pauli)>) -> Self {
         let factors: Vec<_> = factors.into_iter().collect();
-        assert!(!factors.is_empty(), "observable must have at least one factor");
+        assert!(
+            !factors.is_empty(),
+            "observable must have at least one factor"
+        );
         for (i, (w, _)) in factors.iter().enumerate() {
             assert!(
                 factors[i + 1..].iter().all(|(w2, _)| w2 != w),

@@ -85,7 +85,13 @@ pub fn render_ascii(circuit: &Circuit) -> String {
     // Pad each column to a uniform display width.
     let widths: Vec<usize> = columns
         .iter()
-        .map(|col| col.iter().map(|c| c.chars().count()).max().unwrap_or(1).max(1))
+        .map(|col| {
+            col.iter()
+                .map(|c| c.chars().count())
+                .max()
+                .unwrap_or(1)
+                .max(1)
+        })
         .collect();
 
     let mut out = String::new();
@@ -232,7 +238,10 @@ mod tests {
         let state = c.run(&[], &[]);
         // U|00⟩ = first column of U.
         for row in 0..4 {
-            assert!(u[row * 4].approx_eq(state.amplitudes()[row], 1e-12), "row {row}");
+            assert!(
+                u[row * 4].approx_eq(state.amplitudes()[row], 1e-12),
+                "row {row}"
+            );
         }
     }
 

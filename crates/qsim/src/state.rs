@@ -344,7 +344,10 @@ mod tests {
             let mut s = StateVector::from_amplitudes(amps);
             s.apply_controlled(&GateKind::X.matrix(0.0), 0, 1);
             let expected = if input & 1 != 0 { input ^ 2 } else { input };
-            assert!((s.probability(expected) - 1.0).abs() < 1e-12, "input {input}");
+            assert!(
+                (s.probability(expected) - 1.0).abs() < 1e-12,
+                "input {input}"
+            );
         }
     }
 

@@ -28,8 +28,8 @@
 use std::fmt;
 
 use crate::circuit::{Circuit, ParamSource, Wires};
-use crate::gates::{dagger, matmul2, GateKind, Matrix2};
 use crate::complex::C64;
+use crate::gates::{dagger, matmul2, GateKind, Matrix2};
 
 /// Maximum tolerated deviation of `U·U†` from the identity.
 pub const UNITARITY_TOL: f64 = 1e-12;
@@ -255,7 +255,11 @@ impl Circuit {
                         }
                     }
                     if a == b {
-                        return Err(VerifyError::DuplicateWires { op: i, kind, wire: a });
+                        return Err(VerifyError::DuplicateWires {
+                            op: i,
+                            kind,
+                            wire: a,
+                        });
                     }
                 }
             }
@@ -296,7 +300,11 @@ impl Circuit {
                 let theta = match op.param {
                     ParamSource::Fixed(t) => {
                         if !t.is_finite() {
-                            return Err(VerifyError::NonFiniteAngle { op: i, kind, theta: t });
+                            return Err(VerifyError::NonFiniteAngle {
+                                op: i,
+                                kind,
+                                theta: t,
+                            });
                         }
                         t
                     }
@@ -306,7 +314,12 @@ impl Circuit {
                 };
                 let deviation = unitarity_deviation(&kind.matrix(theta));
                 if deviation > UNITARITY_TOL {
-                    return Err(VerifyError::NonUnitary { op: i, kind, theta, deviation });
+                    return Err(VerifyError::NonUnitary {
+                        op: i,
+                        kind,
+                        theta,
+                        deviation,
+                    });
                 }
             }
             // Gradient-engine compatibility: the adjoint walk needs an

@@ -42,7 +42,12 @@ fn rejects_out_of_range_wire() {
     let err = c.verify().expect_err("must reject");
     assert!(matches!(
         err,
-        VerifyError::WireOutOfRange { op: 0, wire: 5, n_qubits: 2, .. }
+        VerifyError::WireOutOfRange {
+            op: 0,
+            wire: 5,
+            n_qubits: 2,
+            ..
+        }
     ));
     let msg = err.to_string();
     assert!(msg.contains("op 0"), "names the op: {msg}");
@@ -59,7 +64,10 @@ fn rejects_duplicate_control_and_target() {
         0,
     ));
     let err = c.verify().expect_err("must reject");
-    assert!(matches!(err, VerifyError::DuplicateWires { op: 0, wire: 1, .. }));
+    assert!(matches!(
+        err,
+        VerifyError::DuplicateWires { op: 0, wire: 1, .. }
+    ));
     assert!(err.to_string().contains("distinct wires"), "{err}");
 }
 
@@ -75,7 +83,12 @@ fn rejects_arity_mismatch() {
     let err = c.verify().expect_err("must reject");
     assert!(matches!(
         err,
-        VerifyError::ArityMismatch { op: 0, expected: 2, got: 1, .. }
+        VerifyError::ArityMismatch {
+            op: 0,
+            expected: 2,
+            got: 1,
+            ..
+        }
     ));
 }
 
@@ -91,10 +104,19 @@ fn rejects_bad_parameter_indices() {
     let err = c.verify().expect_err("must reject");
     assert!(matches!(
         err,
-        VerifyError::ParamIndexOutOfRange { op: 0, index: 7, declared: 2, source: "trainable", .. }
+        VerifyError::ParamIndexOutOfRange {
+            op: 0,
+            index: 7,
+            declared: 2,
+            source: "trainable",
+            ..
+        }
     ));
     let msg = err.to_string();
-    assert!(msg.contains("slot 7") && msg.contains("2"), "actionable: {msg}");
+    assert!(
+        msg.contains("slot 7") && msg.contains("2"),
+        "actionable: {msg}"
+    );
 
     // Same for an input slot.
     let c = parse(&circuit_json(
@@ -106,7 +128,12 @@ fn rejects_bad_parameter_indices() {
     let err = c.verify().expect_err("must reject");
     assert!(matches!(
         err,
-        VerifyError::ParamIndexOutOfRange { index: 3, declared: 1, source: "input", .. }
+        VerifyError::ParamIndexOutOfRange {
+            index: 3,
+            declared: 1,
+            source: "input",
+            ..
+        }
     ));
 }
 
@@ -168,7 +195,10 @@ fn rejects_non_unitary_fixed_matrix() {
         deviation: 2e-6,
     }
     .to_string();
-    assert!(rendered.contains("op 3") && rendered.contains("unitarity"), "{rendered}");
+    assert!(
+        rendered.contains("op 3") && rendered.contains("unitarity"),
+        "{rendered}"
+    );
 }
 
 #[test]
@@ -179,7 +209,10 @@ fn second_op_defect_is_reported_at_its_index() {
     );
     let c = parse(&circuit_json(2, ops, 0, 0));
     let err = c.verify().expect_err("must reject");
-    assert!(matches!(err, VerifyError::WireOutOfRange { op: 1, wire: 3, .. }));
+    assert!(matches!(
+        err,
+        VerifyError::WireOutOfRange { op: 1, wire: 3, .. }
+    ));
     assert!(err.to_string().starts_with("op 1"), "{err}");
 }
 

@@ -23,7 +23,9 @@ fn random_template() -> impl Strategy<Value = (QnnTemplate, u64)> {
 fn bindings(t: &QnnTemplate, seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut rng = SeededRng::new(seed);
     let inputs = (0..t.n_qubits()).map(|_| rng.uniform(-2.0, 2.0)).collect();
-    let params = (0..t.param_count()).map(|_| rng.uniform(0.0, std::f64::consts::TAU)).collect();
+    let params = (0..t.param_count())
+        .map(|_| rng.uniform(0.0, std::f64::consts::TAU))
+        .collect();
     (inputs, params)
 }
 

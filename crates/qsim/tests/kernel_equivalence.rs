@@ -10,7 +10,7 @@
 //! determinism contract through the kernel swap. The reference
 //! implementations below are verbatim copies of the pre-rewrite loops.
 
-use hqnn_qsim::{C64, StateVector};
+use hqnn_qsim::{StateVector, C64};
 use proptest::prelude::*;
 
 type Matrix2 = [[C64; 2]; 2];

@@ -47,22 +47,30 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let threads = crate::threads().min(len.max(1));
+    // Workers record spans under the caller's currently-open span path and
+    // causal parent, so the profile report shows one merged tree (and the
+    // JSONL trace one causal chain) instead of per-thread roots. The context
+    // is installed around each *item*, keyed by its index, which is what
+    // keeps span IDs byte-identical whether the item runs inline or on any
+    // worker — so the inline path installs it too.
+    let ctx = hqnn_telemetry::current_causal_context();
     if threads <= 1 || len <= 1 {
-        return (0..len).map(f).collect();
+        return (0..len)
+            .map(|i| {
+                let _causal = hqnn_telemetry::propagate_causal_context(&ctx, i as u64);
+                f(i)
+            })
+            .collect();
     }
 
     let chunk_size = len.div_ceil((threads * CHUNKS_PER_THREAD).min(len));
     let n_chunks = len.div_ceil(chunk_size);
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
-    // Workers record spans under the caller's currently-open span path, so
-    // the profile report shows one merged tree instead of per-thread roots.
-    let span_path = hqnn_telemetry::current_span_path();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let _path = hqnn_telemetry::propagate_span_path(span_path.clone());
                 // Budget 1 inside workers: the outermost parallel seam owns
                 // the threads; nested par_map calls run inline.
                 crate::with_threads(1, || loop {
@@ -72,7 +80,12 @@ where
                     }
                     let start = chunk * chunk_size;
                     let end = (start + chunk_size).min(len);
-                    let part: Vec<R> = (start..end).map(&f).collect();
+                    let part: Vec<R> = (start..end)
+                        .map(|i| {
+                            let _causal = hqnn_telemetry::propagate_causal_context(&ctx, i as u64);
+                            f(i)
+                        })
+                        .collect();
                     done.lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .push((chunk, part));

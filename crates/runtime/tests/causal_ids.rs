@@ -1,0 +1,164 @@
+//! Causal-ID and alloc-counter determinism across thread counts.
+//!
+//! The contract under test: the set of (path, span_id, parent_id) triples a
+//! workload produces — and, with `HQNN_ALLOC=1`, the per-path allocation
+//! aggregates — is *byte-identical* at `HQNN_THREADS` ∈ {1, 2, 7}. IDs are
+//! derived from (parent ID, name, per-parent sequence), and `par_map` keys
+//! each item's sequence base on the item index, so which worker ran an item
+//! must never show through.
+
+use hqnn_telemetry as telemetry;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The trace buffer, registry, level, and alloc switch are process-global;
+/// serialize every test that touches them.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `len` items under `threads`, each item opening a root span and a
+/// nested child span, and returns the sorted begin-edge identity triples
+/// rendered in the JSONL wire format (16-digit hex).
+fn edge_triples(threads: usize, len: usize) -> Vec<String> {
+    telemetry::trace::enable();
+    telemetry::trace::clear();
+    hqnn_runtime::with_threads(threads, || {
+        hqnn_runtime::par_map_range(len, |i| {
+            let item = telemetry::span("causal.item");
+            let _ = item.span_id();
+            if i % 3 == 0 {
+                let _inner = telemetry::span("causal.inner");
+            }
+        })
+    });
+    let mut triples: Vec<String> = telemetry::trace::span_edges()
+        .into_iter()
+        .filter(|e| e.begin)
+        .map(|e| format!("{} {:016x} {:016x}", e.name, e.span_id, e.parent_id))
+        .collect();
+    telemetry::trace::clear();
+    telemetry::trace::disable();
+    triples.sort();
+    triples
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn span_ids_byte_identical_at_1_2_7_threads(len in 0usize..60) {
+        let _guard = serial();
+        let at_1 = edge_triples(1, len);
+        let at_2 = edge_triples(2, len);
+        let at_7 = edge_triples(7, len);
+        prop_assert_eq!(&at_1, &at_2);
+        prop_assert_eq!(&at_1, &at_7);
+        // Every item contributes exactly one root span plus the nested one
+        // on i % 3 == 0 — nothing lost, nothing duplicated.
+        prop_assert_eq!(at_1.len(), len + len.div_ceil(3));
+    }
+}
+
+/// Per-path (count, alloc_count, alloc_bytes) registry deltas for one run.
+/// Peak bytes are a max (not a sum), so they don't diff across cumulative
+/// snapshots and are deliberately excluded here; the per-occurrence peaks
+/// are covered by the telemetry crate's own tests.
+fn alloc_deltas(threads: usize, len: usize) -> String {
+    let before = telemetry::snapshot();
+    hqnn_runtime::with_threads(threads, || {
+        hqnn_runtime::par_map_range(len, |i| {
+            // Flat span per item: the allocation window sees exactly the
+            // closure's own allocations (deterministic per item), with the
+            // span's bookkeeping excluded by the open-late/close-early
+            // window placement.
+            let _s = telemetry::span("causal.alloc_item");
+            let v: Vec<u64> = (0..(32 + i % 7) as u64).collect();
+            let s = format!("item-{i}");
+            v.len() + s.len()
+        })
+    });
+    let after = telemetry::snapshot();
+    let mut out = String::new();
+    for (path, stats) in &after.spans {
+        if !path.contains("causal.alloc_item") {
+            continue;
+        }
+        let (c0, ac0, ab0) = before
+            .spans
+            .get(path)
+            .map(|s| (s.count, s.alloc_count, s.alloc_bytes))
+            .unwrap_or((0, 0, 0));
+        out.push_str(&format!(
+            "{path} count={} allocs={} bytes={}\n",
+            stats.count - c0,
+            stats.alloc_count - ac0,
+            stats.alloc_bytes - ab0,
+        ));
+    }
+    out
+}
+
+#[test]
+fn alloc_counters_byte_identical_at_1_2_7_threads() {
+    let _guard = serial();
+    let was_enabled = telemetry::alloc::is_enabled();
+    telemetry::alloc::set_enabled(true);
+    let at_1 = alloc_deltas(1, 23);
+    let at_2 = alloc_deltas(2, 23);
+    let at_7 = alloc_deltas(7, 23);
+    telemetry::alloc::set_enabled(was_enabled);
+    assert!(at_1.contains("allocs="), "spans carry alloc data: {at_1}");
+    assert!(!at_1.contains("allocs=0"), "items allocate: {at_1}");
+    assert_eq!(at_1, at_2);
+    assert_eq!(at_1, at_7);
+}
+
+/// The JSONL wire form itself: span events serialized with their causal
+/// identity (timing fields zeroed — wall-clock durations are real
+/// measurements, not replayable values) are byte-identical across thread
+/// counts.
+#[test]
+fn span_event_jsonl_identity_is_schedule_independent() {
+    let _guard = serial();
+    let mem = telemetry::add_memory_sink();
+    let prior_level = telemetry::level();
+    telemetry::set_level(telemetry::Level::Debug);
+
+    let lines_at = |threads: usize| -> Vec<String> {
+        mem.clear();
+        hqnn_runtime::with_threads(threads, || {
+            hqnn_runtime::par_map_range(11, |_| {
+                let _s = telemetry::span("causal.wire_item");
+            })
+        });
+        let mut lines: Vec<String> = mem
+            .events_named("span")
+            .into_iter()
+            .filter(|ev| {
+                ev.fields
+                    .iter()
+                    .any(|(k, v)| k == "path" && v.to_string().contains("causal.wire_item"))
+            })
+            .map(|mut ev| {
+                ev.ts_us = 0;
+                ev.fields.retain(|(k, _)| k == "path");
+                serde_json::to_string(&ev).expect("serialize span event")
+            })
+            .collect();
+        lines.sort();
+        lines
+    };
+
+    let at_1 = lines_at(1);
+    let at_2 = lines_at(2);
+    let at_7 = lines_at(7);
+    telemetry::set_level(prior_level);
+    assert_eq!(at_1.len(), 11);
+    assert!(at_1[0].contains("span_id"), "{}", at_1[0]);
+    assert_eq!(at_1, at_2);
+    assert_eq!(at_1, at_7);
+}

@@ -16,7 +16,11 @@ use std::sync::Mutex;
 
 static GUARD: Mutex<()> = Mutex::new(());
 
-const NAMES: [&str; 3] = ["shardtest.alpha_ticks", "shardtest.beta_ticks", "shardtest.gamma_ticks"];
+const NAMES: [&str; 3] = [
+    "shardtest.alpha_ticks",
+    "shardtest.beta_ticks",
+    "shardtest.gamma_ticks",
+];
 
 /// Counters/gauges under the test namespace, with f64 gauges as raw bits so
 /// equality is bitwise, not approximate.

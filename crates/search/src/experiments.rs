@@ -226,8 +226,17 @@ pub struct TableOneRow {
     pub quantum: u64,
 }
 
-fn table_row(kind: EntanglerKind, features: usize, combo: (usize, usize), cost: &CostModel) -> TableOneRow {
-    let spec = HybridSpec::new(features, N_CLASSES, QnnTemplate::new(combo.0, combo.1, kind));
+fn table_row(
+    kind: EntanglerKind,
+    features: usize,
+    combo: (usize, usize),
+    cost: &CostModel,
+) -> TableOneRow {
+    let spec = HybridSpec::new(
+        features,
+        N_CLASSES,
+        QnnTemplate::new(combo.0, combo.1, kind),
+    );
     let f = spec.flops(cost);
     TableOneRow {
         model: format!("Hybrid ({})", kind.short_name()),
@@ -405,7 +414,10 @@ mod tests {
         let space = crate::space::classical_space(4, 3);
         let mut seen = 0;
         let outcomes = accuracy_frontier(&space, 4, &config, &cost, &mut |_| seen += 1);
-        assert_eq!(outcomes.len(), config.max_combos_per_repetition.min(space.len()));
+        assert_eq!(
+            outcomes.len(),
+            config.max_combos_per_repetition.min(space.len())
+        );
         assert_eq!(seen, outcomes.len());
         let flops: Vec<u64> = outcomes.iter().map(|o| o.flops.total()).collect();
         assert!(flops.windows(2).all(|w| w[0] <= w[1]));

@@ -26,7 +26,10 @@ pub fn rate_of_increase(first: f64, last: f64) -> f64 {
 /// winning architecture with its FLOPs, plus the level mean.
 pub fn scaling_table(family_name: &str, levels: &[LevelResult]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "FLOPs of best-performing {family_name} models per complexity level");
+    let _ = writeln!(
+        out,
+        "FLOPs of best-performing {family_name} models per complexity level"
+    );
     let _ = writeln!(
         out,
         "{:>9} | {:<18} {:>10} {:>9} {:>11} {:>9}",
@@ -70,7 +73,10 @@ pub fn scaling_table(family_name: &str, levels: &[LevelResult]) -> String {
 /// families at each level.
 pub fn parameter_table(study: &StudyResult) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Trainable parameters of winning models (mean over repetitions)");
+    let _ = writeln!(
+        out,
+        "Trainable parameters of winning models (mean over repetitions)"
+    );
     let _ = writeln!(
         out,
         "{:>9} | {:>12} {:>14} {:>14}",

@@ -47,10 +47,7 @@ pub const DEPTH_OPTIONS: std::ops::RangeInclusive<usize> = 1..=10;
 /// assert_eq!(space.len(), 155);
 /// ```
 pub fn classical_space(n_features: usize, n_classes: usize) -> Vec<ModelSpec> {
-    let mut specs = Vec::with_capacity(combination_count(
-        NEURON_OPTIONS.len(),
-        MAX_HIDDEN_LAYERS,
-    ));
+    let mut specs = Vec::with_capacity(combination_count(NEURON_OPTIONS.len(), MAX_HIDDEN_LAYERS));
     let mut stack: Vec<Vec<usize>> = NEURON_OPTIONS.iter().map(|&w| vec![w]).collect();
     while let Some(hidden) = stack.pop() {
         if hidden.len() < MAX_HIDDEN_LAYERS {
@@ -61,9 +58,7 @@ pub fn classical_space(n_features: usize, n_classes: usize) -> Vec<ModelSpec> {
             }
         }
         specs.push(ModelSpec::Classical(ClassicalSpec::new(
-            n_features,
-            hidden,
-            n_classes,
+            n_features, hidden, n_classes,
         )));
     }
     specs
@@ -81,11 +76,7 @@ pub fn classical_space(n_features: usize, n_classes: usize) -> Vec<ModelSpec> {
 /// let space = hqnn_search::hybrid_space(10, 3, EntanglerKind::Strong);
 /// assert_eq!(space.len(), 30);
 /// ```
-pub fn hybrid_space(
-    n_features: usize,
-    n_classes: usize,
-    kind: EntanglerKind,
-) -> Vec<ModelSpec> {
+pub fn hybrid_space(n_features: usize, n_classes: usize, kind: EntanglerKind) -> Vec<ModelSpec> {
     let mut specs = Vec::with_capacity(QUBIT_OPTIONS.len() * DEPTH_OPTIONS.count());
     for &qubits in QUBIT_OPTIONS.iter() {
         for depth in DEPTH_OPTIONS {
@@ -138,10 +129,7 @@ mod tests {
 
     #[test]
     fn classical_space_contains_papers_example_shapes() {
-        let labels: HashSet<String> = classical_space(10, 3)
-            .iter()
-            .map(|s| s.label())
-            .collect();
+        let labels: HashSet<String> = classical_space(10, 3).iter().map(|s| s.label()).collect();
         for expected in ["C[2]@10f", "C[10]@10f", "C[2,4]@10f", "C[10,10,10]@10f"] {
             assert!(labels.contains(expected), "missing {expected}");
         }

@@ -60,6 +60,12 @@ pub const REGISTRY: &[EnvVar] = &[
         purpose: "training-health sentinel action on NaN/Inf loss or exploding gradients",
         accepted: "off|warn|abort (default warn)",
     },
+    EnvVar {
+        name: "HQNN_ALLOC",
+        purpose:
+            "opt-in allocation counting attributed to spans (counting only; numerics untouched)",
+        accepted: "1|true|on to enable; anything else (or unset) disables",
+    },
 ];
 
 /// What the training-health sentinels do when a monitor trips
@@ -220,6 +226,7 @@ mod tests {
         assert!(is_registered("HQNN_THREADS"));
         assert!(is_registered("HQNN_FUSE"));
         assert!(is_registered("HQNN_HEALTH"));
+        assert!(is_registered("HQNN_ALLOC"));
         assert!(!is_registered("HQNN_THREAD"));
         assert!(REGISTRY.iter().all(|v| v.name.starts_with("HQNN_")));
     }
@@ -261,6 +268,8 @@ mod tests {
         assert_eq!(closest_registered("HQNN_LGO"), Some("HQNN_LOG"));
         // The satellite case from the issue: a dropped letter still maps home.
         assert_eq!(closest_registered("HQNN_HEALT"), Some("HQNN_HEALTH"));
+        assert_eq!(closest_registered("HQNN_ALOC"), Some("HQNN_ALLOC"));
+        assert_eq!(closest_registered("HQNN_ALLOCS"), Some("HQNN_ALLOC"));
         assert_eq!(closest_registered("HQNN_COMPLETELY_ELSE"), None);
     }
 

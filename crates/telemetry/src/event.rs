@@ -121,6 +121,14 @@ pub struct Event {
     /// Event name, dot-namespaced by subsystem (`qsim.circuit`, `nn.epoch`,
     /// `search.combo`, …).
     pub name: String,
+    /// Causal ID of the span this event belongs to (its own ID for `span`
+    /// completion events), or `None` outside every span. Serialized as a
+    /// 16-digit hex string — JSON consumers (jq, Python) lose u64 precision
+    /// past 2^53. Absent in pre-causal-ID logs, hence optional.
+    pub span_id: Option<u64>,
+    /// Causal ID of the owning span's parent (`span` events only; `None`
+    /// for root spans and in pre-causal-ID logs).
+    pub parent_id: Option<u64>,
     pub fields: Vec<(String, FieldValue)>,
 }
 
@@ -166,15 +174,30 @@ impl Deserialize for FieldValue {
     }
 }
 
+/// Renders a causal ID as the fixed-width hex form used on the wire.
+pub(crate) fn format_span_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+fn parse_span_id(raw: &str) -> Result<u64, DeError> {
+    u64::from_str_radix(raw, 16).map_err(|e| DeError(format!("invalid span id {raw:?}: {e}")))
+}
+
 impl Serialize for Event {
     fn to_content(&self) -> Content {
-        let mut entries = Vec::with_capacity(self.fields.len() + 3);
+        let mut entries = Vec::with_capacity(self.fields.len() + 5);
         entries.push(("ts_us".to_string(), Content::U64(self.ts_us)));
         entries.push((
             "level".to_string(),
             Content::Str(self.level.as_str().to_string()),
         ));
         entries.push(("event".to_string(), Content::Str(self.name.clone())));
+        if let Some(id) = self.span_id {
+            entries.push(("span_id".to_string(), Content::Str(format_span_id(id))));
+        }
+        if let Some(id) = self.parent_id {
+            entries.push(("parent_id".to_string(), Content::Str(format_span_id(id))));
+        }
         for (k, v) in &self.fields {
             entries.push((k.clone(), v.to_content()));
         }
@@ -188,6 +211,8 @@ impl Deserialize for Event {
         let mut ts_us = None;
         let mut level = None;
         let mut name = None;
+        let mut span_id = None;
+        let mut parent_id = None;
         let mut fields = Vec::new();
         for (k, v) in entries {
             match k.as_str() {
@@ -197,6 +222,10 @@ impl Deserialize for Event {
                     level = Some(s.parse::<Level>().map_err(DeError::custom)?);
                 }
                 "event" => name = Some(String::from_content(v)?),
+                // Optional for backward compatibility: logs written before
+                // causal IDs existed simply leave both as `None`.
+                "span_id" => span_id = Some(parse_span_id(&String::from_content(v)?)?),
+                "parent_id" => parent_id = Some(parse_span_id(&String::from_content(v)?)?),
                 _ => fields.push((k.clone(), FieldValue::from_content(v)?)),
             }
         }
@@ -204,6 +233,8 @@ impl Deserialize for Event {
             ts_us: ts_us.ok_or_else(|| DeError::custom("missing `ts_us`"))?,
             level: level.ok_or_else(|| DeError::custom("missing `level`"))?,
             name: name.ok_or_else(|| DeError::custom("missing `event`"))?,
+            span_id,
+            parent_id,
             fields,
         })
     }

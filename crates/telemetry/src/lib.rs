@@ -42,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod alloc;
 pub mod env;
 mod event;
 pub mod hist;
@@ -57,7 +58,10 @@ pub use manifest::{config_hash, RunManifest};
 pub use registry::{CounterSnapshot, Snapshot, SpanStats};
 pub use report::report;
 pub use sink::{MemorySink, Sink};
-pub use span::{current_span_path, propagate_span_path, PropagatedPathGuard, SpanGuard};
+pub use span::{
+    current_causal_context, current_span_id, current_span_path, propagate_causal_context,
+    propagate_span_path, CausalContext, PropagatedPathGuard, SpanGuard,
+};
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -90,6 +94,8 @@ pub fn init() {
         apply_env_level(raw.as_deref());
         // With the level established, surface any HQNN_* typos exactly once.
         env::warn_unknown_vars();
+        // Allocation counting opt-in (HQNN_ALLOC=1); read once per process.
+        alloc::init_from_env();
     }
 }
 
@@ -141,7 +147,10 @@ pub fn enabled(level: Level) -> bool {
 /// a machine-readable run log, not a console.
 pub fn add_jsonl_sink(path: impl AsRef<Path>) -> std::io::Result<()> {
     let jsonl = sink::JsonlSink::create(path.as_ref())?;
-    sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(Box::new(jsonl));
+    sinks()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(Box::new(jsonl));
     Ok(())
 }
 
@@ -149,7 +158,10 @@ pub fn add_jsonl_sink(path: impl AsRef<Path>) -> std::io::Result<()> {
 /// captured events (intended for tests).
 pub fn add_memory_sink() -> MemorySink {
     let mem = MemorySink::new();
-    sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(Box::new(mem.clone()));
+    sinks()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(Box::new(mem.clone()));
     mem
 }
 
@@ -164,7 +176,11 @@ pub fn add_memory_sink() -> MemorySink {
 pub fn flush() {
     registry::global().drain_all_shards();
     emit_metrics_event();
-    for sink in sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter_mut() {
+    for sink in sinks()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter_mut()
+    {
         sink.flush();
     }
 }
@@ -184,7 +200,11 @@ fn emit_metrics_event() {
     let fields: Vec<(&str, FieldValue)> = counters
         .iter()
         .map(|(k, v)| (k.as_str(), FieldValue::U64(*v)))
-        .chain(gauges.iter().map(|(k, v)| (k.as_str(), FieldValue::F64(*v))))
+        .chain(
+            gauges
+                .iter()
+                .map(|(k, v)| (k.as_str(), FieldValue::F64(*v))),
+        )
         .collect();
     event(Level::Debug, "telemetry.metrics", &fields);
 }
@@ -200,20 +220,41 @@ pub fn drain_local_metrics() {
 }
 
 /// Emits a structured event. Filtered sinks (stderr) drop events above the
-/// active level; recording sinks (JSONL, memory) receive everything.
+/// active level; recording sinks (JSONL, memory) receive everything. The
+/// event is stamped with the causal ID of the innermost open span (if any),
+/// linking JSONL records to the span tree they were emitted under.
 pub fn event(level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+    let span_id = current_span_id();
+    emit(level, name, fields, (span_id != 0).then_some(span_id), None);
+}
+
+/// Shared emission path: [`event`] auto-stamps the current span; span
+/// guards pass their own explicit identity.
+pub(crate) fn emit(
+    level: Level,
+    name: &str,
+    fields: &[(&str, FieldValue)],
+    span_id: Option<u64>,
+    parent_id: Option<u64>,
+) {
     init();
     let ev = Event {
         ts_us: now_us(),
         level,
         name: name.to_string(),
+        span_id,
+        parent_id,
         fields: fields
             .iter()
             .map(|(k, v)| (k.to_string(), v.clone()))
             .collect(),
     };
     let console = enabled(level);
-    for sink in sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter_mut() {
+    for sink in sinks()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter_mut()
+    {
         if console || !sink.respects_level() {
             sink.record(&ev);
         }
@@ -304,7 +345,9 @@ pub fn reset() {
     registry::global().clear();
     trace::disable();
     trace::clear();
-    let mut sinks = sinks().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut sinks = sinks()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     sinks.clear();
     sinks.push(Box::new(sink::StderrSink));
     LEVEL.store(u8::MAX, Ordering::Relaxed);

@@ -38,6 +38,12 @@ pub struct RunManifest {
     /// equal `fuse`. Defaults to `false` when absent (pre-fusion manifests).
     #[serde(default)]
     pub fuse: bool,
+    /// Whether the run counted allocations (`HQNN_ALLOC=1`/`true`/`on`).
+    /// Counting never changes numerics, but it adds allocator bookkeeping
+    /// that can perturb timings, so timed comparisons should match on
+    /// `alloc` too. Defaults to `false` when absent (pre-alloc manifests).
+    #[serde(default)]
+    pub alloc: bool,
     /// FNV-1a hash of the run's configuration JSON (`"-"` when not set).
     pub config_hash: String,
     /// Seconds since the Unix epoch at capture time.
@@ -65,6 +71,7 @@ impl RunManifest {
             hostname: hostname(),
             threads: configured_threads(),
             fuse: configured_fuse(),
+            alloc: configured_alloc(),
             config_hash: "-".to_string(),
             timestamp_unix: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
@@ -93,6 +100,7 @@ impl RunManifest {
             ("hostname", self.hostname.clone().into()),
             ("threads", self.threads.into()),
             ("fuse", self.fuse.into()),
+            ("alloc", self.alloc.into()),
             ("config_hash", self.config_hash.clone().into()),
             ("timestamp_unix", self.timestamp_unix.into()),
         ]
@@ -118,6 +126,13 @@ pub fn config_hash<T: Serialize + ?Sized>(config: &T) -> String {
 /// per-thread test/bench tooling and intentionally not reflected here.
 fn configured_fuse() -> bool {
     crate::env::var("HQNN_FUSE")
+        .map(|raw| crate::env::parse_flag(&raw))
+        .unwrap_or(false)
+}
+
+/// Whether the environment enables allocation counting (`HQNN_ALLOC`).
+fn configured_alloc() -> bool {
+    crate::env::var("HQNN_ALLOC")
         .map(|raw| crate::env::parse_flag(&raw))
         .unwrap_or(false)
 }

@@ -34,6 +34,11 @@ struct SpanAgg {
     /// Log-linear latency histogram (nanoseconds): bounded memory, quantile
     /// error ≤ 1/64 — see [`crate::hist`].
     hist: LogHistogram,
+    /// Allocation totals across occurrences (zero unless `HQNN_ALLOC=1`).
+    alloc_count: u64,
+    alloc_bytes: u64,
+    /// Largest single-occurrence peak (relative to live at span entry).
+    peak_bytes: u64,
 }
 
 impl SpanAgg {
@@ -53,9 +58,8 @@ impl SpanAgg {
     fn stats(&self) -> SpanStats {
         // Quantiles are bucket upper bounds; clamping into [min, max] keeps
         // them inside the observed range (and makes q=1.0 exactly `max`).
-        let q = |q: f64| {
-            Duration::from_nanos(self.hist.quantile(q).clamp(self.min_ns, self.max_ns))
-        };
+        let q =
+            |q: f64| Duration::from_nanos(self.hist.quantile(q).clamp(self.min_ns, self.max_ns));
         SpanStats {
             count: self.count,
             total: Duration::from_nanos(self.total_ns.min(u64::MAX as u128) as u64),
@@ -64,6 +68,9 @@ impl SpanAgg {
             p50: q(0.50),
             p95: q(0.95),
             p99: q(0.99),
+            alloc_count: self.alloc_count,
+            alloc_bytes: self.alloc_bytes,
+            peak_bytes: self.peak_bytes,
         }
     }
 }
@@ -83,6 +90,14 @@ pub struct SpanStats {
     pub p95: Duration,
     /// 99th-percentile latency.
     pub p99: Duration,
+    /// Allocations attributed to this span path across all occurrences
+    /// (same-thread subtree; zero unless `HQNN_ALLOC=1` was on).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Largest single-occurrence peak of live bytes above the level at
+    /// span entry.
+    pub peak_bytes: u64,
 }
 
 /// A point-in-time copy of the registry, shard deltas included.
@@ -225,10 +240,26 @@ impl Registry {
     /// Returns `true` when this is the first record for `path` — used to
     /// emit one example `span` event per path even below debug level.
     pub(crate) fn record_span(&self, path: &str, duration: Duration) -> bool {
+        self.record_span_full(path, duration, None)
+    }
+
+    /// [`Registry::record_span`] plus the span's allocation delta (when
+    /// `HQNN_ALLOC` counting was on for the occurrence).
+    pub(crate) fn record_span_full(
+        &self,
+        path: &str,
+        duration: Duration,
+        alloc: Option<crate::alloc::AllocDelta>,
+    ) -> bool {
         let ns = duration.as_nanos().min(u64::MAX as u128) as u64;
         let mut spans = lock(&self.spans);
         let agg = spans.entry(path.to_string()).or_default();
         agg.record(ns);
+        if let Some(alloc) = alloc {
+            agg.alloc_count += alloc.count;
+            agg.alloc_bytes += alloc.bytes;
+            agg.peak_bytes = agg.peak_bytes.max(alloc.peak_bytes);
+        }
         agg.count == 1
     }
 

@@ -47,10 +47,24 @@ pub fn report() -> String {
     if snapshot.spans.is_empty() {
         out.push_str("(no spans recorded)\n");
     } else {
+        // Allocation columns appear only when some span actually carries
+        // alloc data (i.e. HQNN_ALLOC counting was on), so uninstrumented
+        // profiles keep their familiar width.
+        let has_alloc = snapshot
+            .spans
+            .values()
+            .any(|s| s.alloc_count > 0 || s.alloc_bytes > 0 || s.peak_bytes > 0);
         out.push_str(&format!(
-            "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+            "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}",
             "span", "count", "total", "self", "p50", "p95", "p99"
         ));
+        if has_alloc {
+            out.push_str(&format!(
+                " {:>9} {:>10} {:>10}",
+                "allocs", "alloc-mem", "peak"
+            ));
+        }
+        out.push('\n');
         // Sorted paths give a stable depth-first tree: `a` < `a/b` < `ab`
         // does not hold in general, but `/` sorts before alphanumerics in
         // the keys we build (span names avoid punctuation below `/`).
@@ -65,7 +79,7 @@ pub fn report() -> String {
             let name = path.rsplit('/').next().unwrap_or(path);
             let self_time = self_times.get(*path).copied().unwrap_or_default();
             out.push_str(&format!(
-                "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+                "{:<44} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9}",
                 format!("{}{}", "  ".repeat(depth), name),
                 stats.count,
                 fmt_duration(stats.total),
@@ -74,6 +88,15 @@ pub fn report() -> String {
                 fmt_duration(stats.p95),
                 fmt_duration(stats.p99),
             ));
+            if has_alloc {
+                out.push_str(&format!(
+                    " {:>9} {:>10} {:>10}",
+                    stats.alloc_count,
+                    fmt_bytes(stats.alloc_bytes),
+                    fmt_bytes(stats.peak_bytes),
+                ));
+            }
+            out.push('\n');
         }
     }
 
@@ -122,6 +145,22 @@ pub(crate) fn fmt_rate(per_sec: f64) -> String {
     }
 }
 
+/// Formats a byte count with a binary-ish metric suffix (powers of 1024).
+pub(crate) fn fmt_bytes(bytes: u64) -> String {
+    const KIB: u64 = 1 << 10;
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+    if bytes >= GIB {
+        format!("{:.2}GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2}MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1}KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns >= 1_000_000_000 {
@@ -145,6 +184,14 @@ mod tests {
         assert_eq!(fmt_rate(1_500.0), "1.50k");
         assert_eq!(fmt_rate(2_500_000.0), "2.50M");
         assert_eq!(fmt_rate(3_000_000_000.0), "3.00G");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(12), "12B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00GiB");
     }
 
     #[test]

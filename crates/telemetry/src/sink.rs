@@ -85,7 +85,10 @@ impl MemorySink {
 
     /// Copies out everything captured so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Captured events with the given name.
@@ -100,13 +103,19 @@ impl MemorySink {
     }
 
     pub fn clear(&self) {
-        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 
 impl Sink for MemorySink {
     fn record(&mut self, event: &Event) {
-        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(event.clone());
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(event.clone());
     }
 
     fn respects_level(&self) -> bool {

@@ -1,19 +1,93 @@
-//! RAII span guards with per-thread nesting.
+//! RAII span guards with per-thread nesting and deterministic causal IDs.
+//!
+//! # Causal identity
+//!
+//! Every span gets a `span_id` and a `parent_id` derived with FNV-1a from
+//! `(parent_id, name, sequence)` — the sequence being "how many children has
+//! this parent opened before me". Because the derivation walks the *logical*
+//! call tree (parent link + per-parent child counter) and never touches
+//! thread ids, clocks, or addresses, the IDs are byte-identical at any
+//! `HQNN_THREADS`: item `i` of a `par_map` fan-out gets the same IDs whether
+//! it ran inline, on worker 0, or on worker 7.
+//!
+//! Cross-thread (and cross-item) linkage flows through [`CausalContext`]:
+//! the pool captures [`current_causal_context`] once on the calling thread
+//! and installs it around each work item with [`propagate_causal_context`],
+//! which seeds the item's spans with the caller's span as parent and an
+//! item-indexed sequence base (`(i + 1) << 32`, so item-root sequences can
+//! never collide with the caller's direct children).
 
 use crate::event::{FieldValue, Level};
 use crate::registry;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
 use std::time::Instant;
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// `span_id = FNV-1a(parent_id ∥ name ∥ seq)`, remapped off zero so that
+/// `0` can keep meaning "no span".
+fn derive_span_id(parent_id: u64, name: &str, seq: u64) -> u64 {
+    let hash = fnv1a(FNV_OFFSET, &parent_id.to_le_bytes());
+    let hash = fnv1a(hash, name.as_bytes());
+    let hash = fnv1a(hash, &seq.to_le_bytes());
+    if hash == 0 {
+        // Vanishingly unlikely; any fixed nonzero value keeps determinism.
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        hash
+    }
+}
+
+/// One open span on this thread's stack.
+struct SpanFrame {
+    name: &'static str,
+    id: u64,
+    /// Direct children opened so far — the child sequence counter.
+    children: u64,
+}
+
+/// Inherited causal state installed by [`propagate_span_path`] /
+/// [`propagate_causal_context`].
+struct InheritedCtx {
+    /// Path prefix spans opened under this context aggregate beneath.
+    path: Option<Arc<str>>,
+    /// Causal parent for first-level spans opened under this context.
+    parent_id: u64,
+    /// Sequence base for those first-level spans (item-indexed for pool
+    /// items, 0 for the legacy path-only propagation).
+    base_seq: u64,
+    /// First-level spans opened under this context so far.
+    opened: u64,
+    /// Local stack frames below this install that the context's `path`
+    /// already covers — masked out of path building and parent lookup.
+    mask_depth: usize,
+}
+
 thread_local! {
-    /// The stack of open span names on this thread. Paths are the stack
-    /// joined with `/`, so nesting is tracked per thread while aggregation
-    /// is global.
-    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
-    /// Inherited path prefix for spans opened on this thread — set by worker
-    /// threads (via [`propagate_span_path`]) so their span trees merge under
-    /// the spawning thread's open span instead of forming disconnected roots.
-    static PREFIX: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// The stack of open spans on this thread. Paths are the visible part
+    /// of the stack joined with `/`, so nesting is tracked per thread while
+    /// aggregation is global.
+    static STACK: RefCell<Vec<SpanFrame>> = const { RefCell::new(Vec::new()) };
+    /// Inherited causal context for spans opened on this thread — set by
+    /// worker threads (and around pool work items) so their span trees and
+    /// causal links merge under the spawning thread's open span.
+    static CTX: RefCell<Option<InheritedCtx>> = const { RefCell::new(None) };
+    /// Sequence numbers for spans opened with no parent and no context.
+    static ROOT_SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+fn visible_mask() -> usize {
+    CTX.with(|ctx| ctx.borrow().as_ref().map_or(0, |c| c.mask_depth))
 }
 
 /// The `/`-joined path of the innermost span currently open on this thread
@@ -23,18 +97,68 @@ thread_local! {
 /// workers with [`propagate_span_path`], which is what keeps one `report()`
 /// span tree across a fan-out.
 pub fn current_span_path() -> Option<String> {
+    let mask = visible_mask();
     let local = STACK.with(|stack| {
         let stack = stack.borrow();
-        if stack.is_empty() {
+        if stack.len() <= mask {
             None
         } else {
-            Some(stack.join("/"))
+            let names: Vec<&str> = stack.iter().skip(mask).map(|f| f.name).collect();
+            Some(names.join("/"))
         }
     });
-    PREFIX.with(|prefix| match (prefix.borrow().as_deref(), local) {
-        (Some(p), Some(l)) => Some(format!("{p}/{l}")),
-        (Some(p), None) => Some(p.to_string()),
-        (None, l) => l,
+    CTX.with(
+        |ctx| match (ctx.borrow().as_ref().and_then(|c| c.path.as_deref()), local) {
+            (Some(p), Some(l)) => Some(format!("{p}/{l}")),
+            (Some(p), None) => Some(p.to_string()),
+            (None, l) => l,
+        },
+    )
+}
+
+/// The causal ID of the innermost span visible on this thread (inherited
+/// context included), or `0` outside every span.
+pub fn current_span_id() -> u64 {
+    let mask = visible_mask();
+    let local = STACK.with(|stack| stack.borrow().iter().skip(mask).last().map(|f| f.id));
+    match local {
+        Some(id) => id,
+        None => CTX.with(|ctx| ctx.borrow().as_ref().map_or(0, |c| c.parent_id)),
+    }
+}
+
+/// A capture of the calling thread's span path and causal parent, taken on
+/// the spawning side of a fan-out and installed around each work item with
+/// [`propagate_causal_context`]. Cheap to clone (the path is shared).
+#[derive(Clone, Debug)]
+pub struct CausalContext {
+    path: Option<Arc<str>>,
+    parent_id: u64,
+}
+
+/// Captures the current span path + causal parent for propagation into
+/// pool workers (see [`propagate_causal_context`]).
+pub fn current_causal_context() -> CausalContext {
+    CausalContext {
+        path: current_span_path().map(Arc::from),
+        parent_id: current_span_id(),
+    }
+}
+
+/// Installs `ctx` for one work item until the returned guard drops. Spans
+/// opened while the guard lives aggregate under the captured path and are
+/// causally parented to the captured span, with sequence numbers seeded by
+/// `task_index` — which is what makes span IDs independent of which worker
+/// (or the caller itself, inline) runs the item.
+#[must_use = "the context is removed when the guard drops"]
+pub fn propagate_causal_context(ctx: &CausalContext, task_index: u64) -> PropagatedPathGuard {
+    let mask_depth = STACK.with(|stack| stack.borrow().len());
+    install(InheritedCtx {
+        path: ctx.path.clone(),
+        parent_id: ctx.parent_id,
+        base_seq: task_index.wrapping_add(1) << 32,
+        opened: 0,
+        mask_depth,
     })
 }
 
@@ -42,45 +166,101 @@ pub fn current_span_path() -> Option<String> {
 /// guard drops (restoring the previous prefix). Spans opened while the guard
 /// lives aggregate under `path/...`, merging worker-thread span trees into
 /// the spawning thread's tree.
+///
+/// Path-only propagation: spans opened under it carry no causal parent.
+/// Fan-outs that want linked `span_id`/`parent_id` chains should use
+/// [`propagate_causal_context`] instead.
 #[must_use = "the prefix is removed when the guard drops"]
 pub fn propagate_span_path(path: Option<String>) -> PropagatedPathGuard {
-    let previous = PREFIX.with(|prefix| prefix.replace(path));
+    install(InheritedCtx {
+        path: path.map(Arc::from),
+        parent_id: 0,
+        base_seq: 0,
+        opened: 0,
+        mask_depth: 0,
+    })
+}
+
+fn install(ctx: InheritedCtx) -> PropagatedPathGuard {
+    let previous = CTX.with(|cell| cell.borrow_mut().replace(ctx));
     PropagatedPathGuard { previous }
 }
 
-/// Guard returned by [`propagate_span_path`]; restores the thread's previous
-/// prefix on drop.
+/// Guard returned by [`propagate_span_path`] / [`propagate_causal_context`];
+/// restores the thread's previous context on drop.
 pub struct PropagatedPathGuard {
-    previous: Option<String>,
+    previous: Option<InheritedCtx>,
 }
 
 impl Drop for PropagatedPathGuard {
     fn drop(&mut self) {
-        PREFIX.with(|prefix| *prefix.borrow_mut() = self.previous.take());
+        CTX.with(|cell| *cell.borrow_mut() = self.previous.take());
     }
 }
 
-/// Guard returned by [`crate::span`]; records the elapsed time under the
-/// span's full path when dropped.
+/// Guard returned by [`crate::span`]; records the elapsed time (and, with
+/// `HQNN_ALLOC=1`, the thread's allocation delta) under the span's full
+/// path when dropped.
 pub struct SpanGuard {
     path: String,
+    name: &'static str,
+    id: u64,
+    parent_id: u64,
+    alloc_start: Option<crate::alloc::WindowStart>,
     start: Instant,
 }
 
 impl SpanGuard {
     pub(crate) fn enter(name: &'static str) -> SpanGuard {
-        let local = STACK.with(|stack| {
-            let mut stack = stack.borrow_mut();
-            stack.push(name);
-            stack.join("/")
+        let (id, parent_id, path) = CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                let mask = ctx.as_ref().map_or(0, |c| c.mask_depth).min(stack.len());
+                let (parent_id, seq) = if stack.len() > mask {
+                    let last = stack.len() - 1;
+                    let top = &mut stack[last];
+                    let seq = top.children;
+                    top.children += 1;
+                    (top.id, seq)
+                } else if let Some(c) = ctx.as_mut() {
+                    let seq = c.base_seq.wrapping_add(c.opened);
+                    c.opened += 1;
+                    (c.parent_id, seq)
+                } else {
+                    let seq = ROOT_SEQ.with(|r| {
+                        let s = r.get();
+                        r.set(s.wrapping_add(1));
+                        s
+                    });
+                    (0, seq)
+                };
+                let id = derive_span_id(parent_id, name, seq);
+                stack.push(SpanFrame {
+                    name,
+                    id,
+                    children: 0,
+                });
+                let names: Vec<&str> = stack.iter().skip(mask).map(|f| f.name).collect();
+                let local = names.join("/");
+                let path = match ctx.as_ref().and_then(|c| c.path.as_deref()) {
+                    Some(p) => format!("{p}/{local}"),
+                    None => local,
+                };
+                (id, parent_id, path)
+            })
         });
-        let path = PREFIX.with(|prefix| match prefix.borrow().as_deref() {
-            Some(p) => format!("{p}/{local}"),
-            None => local,
-        });
-        crate::trace::record(true, name);
+        crate::trace::record(true, name, id, parent_id);
+        // The allocation window opens *after* the guard's own bookkeeping
+        // (frame push, path build, trace record) so a span's delta is the
+        // workload's, not the instrumentation's.
+        let alloc_start = crate::alloc::window_start();
         SpanGuard {
             path,
+            name,
+            id,
+            parent_id,
+            alloc_start,
             start: Instant::now(),
         }
     }
@@ -89,26 +269,49 @@ impl SpanGuard {
     pub fn path(&self) -> &str {
         &self.path
     }
+
+    /// This span's deterministic causal ID.
+    pub fn span_id(&self) -> u64 {
+        self.id
+    }
+
+    /// The causal ID of this span's parent (`0` for a root span).
+    pub fn parent_span_id(&self) -> u64 {
+        self.parent_id
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
-        let name = STACK.with(|stack| stack.borrow_mut().pop());
-        crate::trace::record(false, name.unwrap_or_default());
-        let first = registry::global().record_span(&self.path, elapsed);
+        // Close the allocation window before any drop-side bookkeeping
+        // allocates (pop, registry, event) so the delta is workload-only.
+        let alloc = self.alloc_start.take().map(crate::alloc::window_end);
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        crate::trace::record(false, self.name, self.id, self.parent_id);
+        let first = registry::global().record_span_full(&self.path, elapsed, alloc);
         // Every occurrence is visible at debug level; below that, the first
         // completion per path still emits one event so recording sinks
         // (JSONL/memory) always capture an example of every span path
         // without drowning in per-sample records.
         if first || crate::enabled(Level::Debug) {
-            crate::event(
+            let mut fields = vec![
+                ("path", FieldValue::Str(self.path.clone())),
+                ("dur_us", FieldValue::U64(elapsed.as_micros() as u64)),
+            ];
+            if let Some(alloc) = alloc {
+                fields.push(("alloc_count", FieldValue::U64(alloc.count)));
+                fields.push(("alloc_bytes", FieldValue::U64(alloc.bytes)));
+                fields.push(("peak_bytes", FieldValue::U64(alloc.peak_bytes)));
+            }
+            crate::emit(
                 Level::Debug,
                 "span",
-                &[
-                    ("path", FieldValue::Str(self.path.clone())),
-                    ("dur_us", FieldValue::U64(elapsed.as_micros() as u64)),
-                ],
+                &fields,
+                Some(self.id),
+                (self.parent_id != 0).then_some(self.parent_id),
             );
         }
     }
@@ -142,5 +345,66 @@ mod tests {
         assert_eq!(super::current_span_path().as_deref(), Some("outer"));
         drop(outer);
         assert_eq!(super::current_span_path(), None);
+    }
+
+    #[test]
+    fn ids_link_parent_and_child() {
+        let a = crate::span("id_parent");
+        let b = crate::span("id_child");
+        assert_ne!(a.span_id(), 0);
+        assert_ne!(b.span_id(), 0);
+        assert_eq!(b.parent_span_id(), a.span_id());
+        assert_eq!(super::current_span_id(), b.span_id());
+        drop(b);
+        assert_eq!(super::current_span_id(), a.span_id());
+    }
+
+    #[test]
+    fn sibling_spans_of_same_name_get_distinct_ids() {
+        let parent = crate::span("dup_parent");
+        let first = {
+            let g = crate::span("dup_child");
+            g.span_id()
+        };
+        let second = {
+            let g = crate::span("dup_child");
+            g.span_id()
+        };
+        drop(parent);
+        assert_ne!(
+            first, second,
+            "sequence numbers separate same-name siblings"
+        );
+    }
+
+    #[test]
+    fn propagated_context_masks_local_frames_and_links_parent() {
+        let caller = crate::span("ctx_caller");
+        let ctx = super::current_causal_context();
+        {
+            // Same thread (the inline par_map path): the caller's frame is
+            // masked, so the item span's path is not doubled ...
+            let _g = super::propagate_causal_context(&ctx, 3);
+            let item = crate::span("ctx_item");
+            assert_eq!(item.path(), "ctx_caller/ctx_item");
+            // ... and its causal parent is the caller's span.
+            assert_eq!(item.parent_span_id(), caller.span_id());
+        }
+        drop(caller);
+    }
+
+    #[test]
+    fn item_ids_are_task_indexed_not_schedule_dependent() {
+        let caller = crate::span("seq_caller");
+        let ctx = super::current_causal_context();
+        let id_for = |task: u64| {
+            let _g = super::propagate_causal_context(&ctx, task);
+            crate::span("seq_item").span_id()
+        };
+        // Re-running the same task index reproduces the same ID; different
+        // indices differ.
+        assert_eq!(id_for(5), id_for(5));
+        assert_ne!(id_for(5), id_for(6));
+        drop(caller);
     }
 }

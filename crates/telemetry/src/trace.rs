@@ -23,6 +23,22 @@ struct TraceRecord {
     name: String,
     ts_us: u64,
     tid: u64,
+    span_id: u64,
+    parent_id: u64,
+}
+
+/// One span begin/end edge with its causal identity — the raw material of
+/// determinism tests ([`span_edges`]) and the Chrome export's `args`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEdge {
+    /// `true` for a begin edge, `false` for an end edge.
+    pub begin: bool,
+    /// Span name (not the full path — the per-thread stack restores it).
+    pub name: String,
+    /// Deterministic causal ID of the span.
+    pub span_id: u64,
+    /// Causal ID of its parent (`0` for roots).
+    pub parent_id: u64,
 }
 
 #[derive(Default)]
@@ -60,13 +76,15 @@ pub fn is_enabled() -> bool {
 
 /// Discards all buffered trace records.
 pub fn clear() {
-    let mut buf = buffer().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut buf = buffer()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     buf.records.clear();
     buf.dropped = 0;
 }
 
 /// Records one begin/end edge (called from the span guard).
-pub(crate) fn record(begin: bool, name: &str) {
+pub(crate) fn record(begin: bool, name: &str, span_id: u64, parent_id: u64) {
     if !is_enabled() {
         return;
     }
@@ -75,8 +93,12 @@ pub(crate) fn record(begin: bool, name: &str) {
         name: name.to_string(),
         ts_us: crate::now_us(),
         tid: TID.with(|t| *t),
+        span_id,
+        parent_id,
     };
-    let mut buf = buffer().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut buf = buffer()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if buf.records.len() >= TRACE_CAP {
         buf.dropped += 1;
         return;
@@ -88,7 +110,9 @@ pub(crate) fn record(begin: bool, name: &str) {
 /// dropped, begins still open at render time get a synthetic end at the
 /// final timestamp — so consumers always see matching pairs.
 fn balanced_records() -> Vec<TraceRecord> {
-    let buf = buffer().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let buf = buffer()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut out = Vec::with_capacity(buf.records.len());
     let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
     let mut last_ts = 0u64;
@@ -111,10 +135,30 @@ fn balanced_records() -> Vec<TraceRecord> {
                 name,
                 ts_us: last_ts,
                 tid,
+                span_id: 0,
+                parent_id: 0,
             });
         }
     }
     out
+}
+
+/// Copies out the buffered span edges (unbalanced, in record order) with
+/// their causal IDs. Determinism tests compare these across thread counts;
+/// synthetic balancing is left to the renderers.
+pub fn span_edges() -> Vec<SpanEdge> {
+    let buf = buffer()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    buf.records
+        .iter()
+        .map(|r| SpanEdge {
+            begin: r.begin,
+            name: r.name.clone(),
+            span_id: r.span_id,
+            parent_id: r.parent_id,
+        })
+        .collect()
 }
 
 /// Renders the buffered spans as a Chrome trace-event document
@@ -125,7 +169,7 @@ pub fn chrome_trace_json() -> String {
     let events: Vec<Content> = balanced_records()
         .into_iter()
         .map(|r| {
-            Content::Map(vec![
+            let mut entries = vec![
                 ("name".to_string(), Content::Str(r.name)),
                 ("cat".to_string(), Content::Str("span".to_string())),
                 (
@@ -135,7 +179,25 @@ pub fn chrome_trace_json() -> String {
                 ("ts".to_string(), Content::U64(r.ts_us)),
                 ("pid".to_string(), Content::U64(1)),
                 ("tid".to_string(), Content::U64(r.tid)),
-            ])
+            ];
+            // Causal identity rides along on begin edges so Perfetto's
+            // span detail pane shows the cross-reference into JSONL logs.
+            if r.begin && r.span_id != 0 {
+                entries.push((
+                    "args".to_string(),
+                    Content::Map(vec![
+                        (
+                            "span_id".to_string(),
+                            Content::Str(crate::event::format_span_id(r.span_id)),
+                        ),
+                        (
+                            "parent_id".to_string(),
+                            Content::Str(crate::event::format_span_id(r.parent_id)),
+                        ),
+                    ]),
+                ));
+            }
+            Content::Map(entries)
         })
         .collect();
     let doc = Content::Map(vec![
@@ -166,5 +228,8 @@ pub fn collapsed_stacks() -> String {
 
 /// Number of records discarded because the buffer was full.
 pub fn dropped() -> u64 {
-    buffer().lock().unwrap_or_else(std::sync::PoisonError::into_inner).dropped
+    buffer()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .dropped
 }

@@ -17,7 +17,10 @@ fn unknown_hqnn_variable_warns_once_with_suggestion() {
     let warnings = mem.events_named("env.unknown_var");
     assert_eq!(warnings.len(), 1, "one event per unknown variable");
     let rendered = warnings[0].human_readable();
-    assert!(rendered.contains("HQNN_THREAD"), "names the offender: {rendered}");
+    assert!(
+        rendered.contains("HQNN_THREAD"),
+        "names the offender: {rendered}"
+    );
     assert!(
         rendered.contains("HQNN_THREADS"),
         "suggests the nearest registered name: {rendered}"
@@ -31,7 +34,7 @@ fn unknown_hqnn_variable_warns_once_with_suggestion() {
 #[test]
 fn registry_is_the_single_source_of_truth() {
     let names = telemetry::env::registered_names();
-    for expected in ["HQNN_LOG", "HQNN_THREADS", "HQNN_FUSE"] {
+    for expected in ["HQNN_LOG", "HQNN_THREADS", "HQNN_FUSE", "HQNN_ALLOC"] {
         assert!(names.contains(&expected), "{expected} must be registered");
     }
     for var in telemetry::env::REGISTRY {

@@ -68,7 +68,8 @@ fn percentiles_match_known_distribution_within_histogram_bound() {
             let exact_ns = exact_us * 1000;
             assert!(reported_ns >= exact_ns, "{reported_ns} < exact {exact_ns}");
             assert!(
-                (reported_ns - exact_ns) as f64 <= exact_ns as f64 * telemetry::hist::RELATIVE_ERROR,
+                (reported_ns - exact_ns) as f64
+                    <= exact_ns as f64 * telemetry::hist::RELATIVE_ERROR,
                 "{reported_ns} outside error bound of exact {exact_ns}"
             );
         }
@@ -104,8 +105,8 @@ fn worker_thread_counters_reach_jsonl_on_flush() {
         // Regression test for flush ordering: a counter incremented on a
         // worker thread that is still alive at flush() time must appear in
         // the JSONL file — flush drains the shards *before* the sinks.
-        let path = std::env::temp_dir()
-            .join(format!("hqnn-telemetry-flush-{}.jsonl", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("hqnn-telemetry-flush-{}.jsonl", std::process::id()));
         telemetry::add_jsonl_sink(&path).unwrap();
 
         let (ready_tx, ready_rx) = std::sync::mpsc::channel();

@@ -27,7 +27,10 @@ fn main() {
         HybridSpec::new(n_features, 3, QnnTemplate::new(3, 2, EntanglerKind::Strong)).into(),
     ];
 
-    println!("spiral @ {n_features} features, noise σ = {:.3}", noise_level(n_features));
+    println!(
+        "spiral @ {n_features} features, noise σ = {:.3}",
+        noise_level(n_features)
+    );
     println!();
     println!(
         "{:<18} {:>8} {:>10} {:>12} {:>12}",
@@ -65,7 +68,11 @@ fn main() {
     println!();
     let best = results
         .iter()
-        .max_by(|a, b| a.report.best_val_accuracy.total_cmp(&b.report.best_val_accuracy))
+        .max_by(|a, b| {
+            a.report
+                .best_val_accuracy
+                .total_cmp(&b.report.best_val_accuracy)
+        })
         .expect("at least one contender");
     println!(
         "best validation accuracy: {} at {:.1}%",

@@ -9,7 +9,11 @@ fn sel(features: usize) -> HybridSpec {
 }
 
 fn bel(features: usize, qubits: usize, depth: usize) -> HybridSpec {
-    HybridSpec::new(features, 3, QnnTemplate::new(qubits, depth, EntanglerKind::Basic))
+    HybridSpec::new(
+        features,
+        3,
+        QnnTemplate::new(qubits, depth, EntanglerKind::Basic),
+    )
 }
 
 #[test]
@@ -129,12 +133,7 @@ fn paper_table_one_hybrid_configs_price_consistently() {
     // The four BEL rows and four SEL rows of Table I, priced by our model:
     // totals must be strictly increasing down each block, like the paper's.
     let cost = CostModel::default();
-    let bel_rows = [
-        bel(10, 3, 2),
-        bel(40, 3, 2),
-        bel(80, 3, 4),
-        bel(110, 4, 4),
-    ];
+    let bel_rows = [bel(10, 3, 2), bel(40, 3, 2), bel(80, 3, 4), bel(110, 4, 4)];
     let totals: Vec<u64> = bel_rows.iter().map(|s| s.flops(&cost).total()).collect();
     assert!(totals.windows(2).all(|w| w[0] < w[1]), "{totals:?}");
 

@@ -4,10 +4,7 @@
 use hqnn_core::prelude::*;
 
 /// Generates, splits and standardises a small spiral instance.
-fn prepared(
-    n_features: usize,
-    seed: u64,
-) -> (Matrix, Vec<usize>, Matrix, Vec<usize>, SeededRng) {
+fn prepared(n_features: usize, seed: u64) -> (Matrix, Vec<usize>, Matrix, Vec<usize>, SeededRng) {
     let mut rng = SeededRng::new(seed);
     let config = SpiralConfig::fast(n_features).with_samples(300);
     let dataset = Dataset::spiral(&config, &mut rng);

@@ -46,7 +46,10 @@ fn hybrid_model_solves_two_moons() {
 fn classical_model_solves_circles_and_blobs() {
     for (name, ds) in [
         ("circles", circles(240, 0.45, 0.05, &mut SeededRng::new(5))),
-        ("blobs", gaussian_blobs(240, 3, 0.15, &mut SeededRng::new(6))),
+        (
+            "blobs",
+            gaussian_blobs(240, 3, 0.15, &mut SeededRng::new(6)),
+        ),
     ] {
         let mut rng = SeededRng::new(7);
         let (train_set, val_set) = ds.split(0.8, &mut rng);
@@ -106,7 +109,10 @@ fn xor_needs_nonlinearity() {
     // right (75%); a hidden layer should clear 90%.
     let linear = run(vec![], &mut rng);
     let nonlinear = run(vec![8], &mut rng);
-    assert!(linear <= 0.78, "linear model beat the XOR ceiling: {linear}");
+    assert!(
+        linear <= 0.78,
+        "linear model beat the XOR ceiling: {linear}"
+    );
     assert!(nonlinear > 0.9, "MLP should crack XOR, got {nonlinear}");
 }
 

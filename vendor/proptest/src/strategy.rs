@@ -37,7 +37,11 @@ pub trait Strategy: Clone {
     where
         F: Fn(&Self::Value) -> bool + Clone,
     {
-        Filter { inner: self, whence, pred }
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
     }
 
     /// Type-erases the strategy (needed by `prop_oneof!`).
@@ -59,7 +63,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { sampler: Rc::clone(&self.sampler) }
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
     }
 }
 
@@ -137,7 +143,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter `{}` rejected 1000 consecutive samples", self.whence);
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive samples",
+            self.whence
+        );
     }
 }
 
@@ -148,7 +157,9 @@ pub struct Union<T> {
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
-        Union { arms: self.arms.clone() }
+        Union {
+            arms: self.arms.clone(),
+        }
     }
 }
 

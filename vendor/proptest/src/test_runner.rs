@@ -43,7 +43,9 @@ impl TestRng {
             x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             x ^ (x >> 31)
         };
-        TestRng { s: [next(), next(), next(), next()] }
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {

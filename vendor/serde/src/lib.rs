@@ -116,8 +116,9 @@ pub fn field<T: Deserialize>(
     ty: &str,
 ) -> Result<T, DeError> {
     match entries.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => T::from_content(v)
-            .map_err(|e| DeError(format!("in field `{ty}.{name}`: {}", e.0))),
+        Some((_, v)) => {
+            T::from_content(v).map_err(|e| DeError(format!("in field `{ty}.{name}`: {}", e.0)))
+        }
         // Missing key: types with a null form (notably `Option`) default, so
         // structs can grow optional fields without invalidating cached JSON.
         None => T::from_content(&Content::Null)
@@ -134,8 +135,9 @@ pub fn field_or_default<T: Deserialize + Default>(
     ty: &str,
 ) -> Result<T, DeError> {
     match entries.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => T::from_content(v)
-            .map_err(|e| DeError(format!("in field `{ty}.{name}`: {}", e.0))),
+        Some((_, v)) => {
+            T::from_content(v).map_err(|e| DeError(format!("in field `{ty}.{name}`: {}", e.0)))
+        }
         None => Ok(T::default()),
     }
 }
@@ -147,9 +149,7 @@ pub fn variant<'c>(content: &'c Content, ty: &str) -> Result<(&'c str, &'c Conte
     const UNIT: &Content = &Content::Null;
     match content {
         Content::Str(name) => Ok((name.as_str(), UNIT)),
-        Content::Map(entries) if entries.len() == 1 => {
-            Ok((entries[0].0.as_str(), &entries[0].1))
-        }
+        Content::Map(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
         other => Err(DeError(format!(
             "expected enum `{ty}` (string or single-key object), found {}",
             other.kind()

@@ -63,7 +63,8 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
                 Mode::Serialize => gen_serialize(&name, &shape),
                 Mode::Deserialize => gen_deserialize(&name, &shape),
             };
-            code.parse().expect("serde_derive stub generated invalid Rust")
+            code.parse()
+                .expect("serde_derive stub generated invalid Rust")
         }
         Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
     }
@@ -294,9 +295,7 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                 .iter()
                 .map(|f| {
                     let f = &f.name;
-                    format!(
-                        "({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))"
-                    )
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))")
                 })
                 .collect();
             format!("::serde::Content::Map(vec![{}])", entries.join(", "))
@@ -313,9 +312,9 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
             let arms: Vec<String> = variants
                 .iter()
                 .map(|(v, vs)| match vs {
-                    VariantShape::Unit => format!(
-                        "{name}::{v} => ::serde::Content::Str({v:?}.to_string()),"
-                    ),
+                    VariantShape::Unit => {
+                        format!("{name}::{v} => ::serde::Content::Str({v:?}.to_string()),")
+                    }
                     VariantShape::Tuple(1) => format!(
                         "{name}::{v}(__f0) => ::serde::Content::Map(vec![({v:?}.to_string(), \
                          ::serde::Serialize::to_content(__f0))]),"
@@ -383,9 +382,7 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                 inits.join(", ")
             )
         }
-        Shape::TupleStruct(1) => format!(
-            "Ok({name}(::serde::Deserialize::from_content(__c)?))"
-        ),
+        Shape::TupleStruct(1) => format!("Ok({name}(::serde::Deserialize::from_content(__c)?))"),
         Shape::TupleStruct(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_content(&__t[{i}])?"))
@@ -409,9 +406,7 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                         ),
                         VariantShape::Tuple(n) => {
                             let items: Vec<String> = (0..*n)
-                                .map(|i| {
-                                    format!("::serde::Deserialize::from_content(&__t[{i}])?")
-                                })
+                                .map(|i| format!("::serde::Deserialize::from_content(&__t[{i}])?"))
                                 .collect();
                             format!(
                                 "{v:?} => {{ let __t = __payload.as_tuple({n}, {label:?})?; \
@@ -424,7 +419,9 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                                 .iter()
                                 .map(|f| {
                                     let (name_f, getter) = (&f.name, field_getter(f));
-                                    format!("{name_f}: ::serde::{getter}(__m, {name_f:?}, {label:?})?")
+                                    format!(
+                                        "{name_f}: ::serde::{getter}(__m, {name_f:?}, {label:?})?"
+                                    )
                                 })
                                 .collect();
                             format!(

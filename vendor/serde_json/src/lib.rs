@@ -56,7 +56,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 
 /// Parses a value from a JSON string.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let content = p.value()?;
     p.skip_ws();
@@ -255,7 +258,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Content::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -283,7 +291,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Content::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -299,10 +312,7 @@ impl<'a> Parser<'a> {
                 }
                 self.pos += 1;
             }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(Error::new)?,
-            );
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::new)?);
             match self.peek() {
                 Some(b'"') => {
                     self.pos += 1;
@@ -341,10 +351,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -357,8 +364,7 @@ impl<'a> Parser<'a> {
         if self.pos + 4 > self.bytes.len() {
             return Err(Error::new("truncated \\u escape"));
         }
-        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(Error::new)?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).map_err(Error::new)?;
         let v = u32::from_str_radix(s, 16).map_err(Error::new)?;
         self.pos += 4;
         Ok(v)
@@ -380,26 +386,19 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(Error::new)?;
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::new)?;
         if is_float {
             let v: f64 = text.parse().map_err(Error::new)?;
             Ok(Content::F64(v))
         } else if text.starts_with('-') {
             match text.parse::<i64>() {
                 Ok(v) => Ok(Content::I64(v)),
-                Err(_) => text
-                    .parse::<f64>()
-                    .map(Content::F64)
-                    .map_err(Error::new),
+                Err(_) => text.parse::<f64>().map(Content::F64).map_err(Error::new),
             }
         } else {
             match text.parse::<u64>() {
                 Ok(v) => Ok(Content::U64(v)),
-                Err(_) => text
-                    .parse::<f64>()
-                    .map(Content::F64)
-                    .map_err(Error::new),
+                Err(_) => text.parse::<f64>().map(Content::F64).map_err(Error::new),
             }
         }
     }
