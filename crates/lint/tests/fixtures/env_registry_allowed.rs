@@ -8,6 +8,10 @@ pub fn alloc_counting_enabled() -> bool {
     std::env::var("HQNN_ALLOC").is_ok()
 }
 
+pub fn configured_batch_layout() -> Option<String> {
+    std::env::var("HQNN_BATCH").ok()
+}
+
 pub fn experimental_flag() -> bool {
     // lint:allow(env-registry): prototype flag, registered before release
     std::env::var("HQNN_EXPERIMENTAL_X").is_ok()

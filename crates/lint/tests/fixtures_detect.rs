@@ -34,6 +34,7 @@ fn registry() -> Vec<String> {
         "HQNN_LOG".to_string(),
         "HQNN_THREADS".to_string(),
         "HQNN_FUSE".to_string(),
+        "HQNN_BATCH".to_string(),
         "HQNN_ALLOC".to_string(),
     ]
 }

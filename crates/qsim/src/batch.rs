@@ -2,27 +2,126 @@
 //!
 //! The hybrid layers upstream (hqnn-core) process inputs a *batch* at a time
 //! — one circuit evaluation per matrix row, all rows independent. These
-//! entry points are the simulator's parallel seam: rows fan out across
-//! [`hqnn_runtime::par_map_range`] and come back in row order, so every
-//! result is bitwise identical to the per-row sequential loop regardless of
-//! `HQNN_THREADS`.
+//! entry points are the simulator's parallel seam, and they offer two
+//! execution **layouts** selected by `HQNN_BATCH` (or a scoped
+//! [`with_batch_layout`] override):
+//!
+//! * **`gate` (default, gate-major).** Rows are grouped into fixed-size
+//!   chunks, each chunk's statevectors live in one contiguous
+//!   [`BatchState`] buffer, and the driver walks the compiled op list
+//!   *once*, sweeping each op across every row in the chunk while its
+//!   matrix is hot. Row-independent matrices (fixed/trainable angles,
+//!   fused runs and pairs) are resolved once per batch and applied with a
+//!   single whole-buffer kernel call per chunk; input-dependent encoding
+//!   gates are resolved per row inside the sweep. Chunks fan out across
+//!   [`hqnn_runtime::par_map_range`].
+//! * **`row` (row-major).** The historical layout: each row runs its
+//!   circuit end to end, rows fan out across the pool.
+//!
+//! Both layouts execute each row through the *same kernels in the same
+//! order with the same matrices*, so results are **bitwise identical** to
+//! the per-row sequential loop — across layouts and regardless of
+//! `HQNN_THREADS` (chunk boundaries depend only on the row count, never on
+//! the thread budget). `crates/qsim/tests/batch_layout_equivalence.rs`
+//! pins that equivalence.
 
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+use hqnn_telemetry::env::BatchLayout;
 use hqnn_tensor::Matrix;
 
-use crate::circuit::Circuit;
-use crate::fuse::{fusion_enabled, FusePlan};
-use crate::gates::Matrix2;
+use crate::batch_state::BatchState;
+use crate::circuit::{Circuit, Op, ParamSource, Wires};
+use crate::complex::C64;
+use crate::fuse::{self, FusePlan, Segment};
+use crate::gates::{matmul2, GateKind, Matrix2, Matrix4};
 use crate::gradient::{self, Gradients};
 use crate::noise::NoiseModel;
 use crate::observable::Observable;
+use crate::state::{
+    apply_pair_amps, apply_single_amps, apply_swap_amps, transform_control1_pairs_amps,
+};
 use crate::state::StateVector;
+
+thread_local! {
+    /// Scoped layout override installed by [`with_batch_layout`]
+    /// (`None` = no override).
+    static LAYOUT_OVERRIDE: Cell<Option<BatchLayout>> = const { Cell::new(None) };
+}
+
+/// The batch layout parsed from `HQNN_BATCH`, read once per process.
+/// Unset or invalid values fall back to gate-major (invalid values warn
+/// loudly, once).
+fn env_batch_layout() -> BatchLayout {
+    static ENV: OnceLock<BatchLayout> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let Some(raw) = hqnn_telemetry::env::var("HQNN_BATCH") else {
+            return BatchLayout::Gate;
+        };
+        match hqnn_telemetry::env::parse_batch_layout(&raw) {
+            Some(layout) => layout,
+            None => {
+                hqnn_telemetry::event(
+                    hqnn_telemetry::Level::Error,
+                    "qsim.bad_batch",
+                    &[
+                        ("value", raw.into()),
+                        ("hint", "HQNN_BATCH must be `gate` or `row`".into()),
+                    ],
+                );
+                BatchLayout::Gate
+            }
+        }
+    })
+}
+
+/// The batch execution layout on the calling thread, resolved as:
+/// [`with_batch_layout`] override → `HQNN_BATCH` → gate-major. Batch entry
+/// points resolve this **once on the caller** before fanning out, so a
+/// scoped override governs the whole batch regardless of which worker
+/// thread runs a chunk.
+pub fn batch_layout() -> BatchLayout {
+    LAYOUT_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(env_batch_layout)
+}
+
+/// Runs `f` with the batch layout pinned for the calling thread (nested
+/// calls nest; the previous setting is restored afterwards, also on panic).
+/// This is how tests and benchmarks compare layouts inside one process
+/// without touching the environment.
+pub fn with_batch_layout<R>(layout: BatchLayout, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<BatchLayout>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LAYOUT_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(LAYOUT_OVERRIDE.with(|o| o.replace(Some(layout))));
+    f()
+}
+
+/// Upper bound on rows per gate-major chunk. Fixed (never derived from the
+/// thread budget) so chunk boundaries — and with them span trees and causal
+/// IDs — are identical at every `HQNN_THREADS`.
+const GATE_CHUNK_ROWS: usize = 4;
+
+/// Rows per gate-major chunk for an `n_qubits`-wire circuit: up to
+/// [`GATE_CHUNK_ROWS`], shrinking for very wide circuits so a chunk's
+/// contiguous buffer stays within ~2²⁰ amplitudes (16 MiB).
+fn chunk_rows_for(n_qubits: usize) -> usize {
+    ((1usize << 20) >> n_qubits).clamp(1, GATE_CHUNK_ROWS)
+}
 
 /// How a batch executes its rows, resolved **once on the caller thread**
 /// before the fan-out (thread-local overrides like
-/// [`crate::fuse::with_fusion`] do not propagate into pool workers, and the
-/// shared state below must be built exactly once per batch either way).
+/// [`crate::fuse::with_fusion_level`] do not propagate into pool workers,
+/// and the shared state below must be built exactly once per batch either
+/// way).
 enum BatchMode {
-    /// Fused execution: one [`FusePlan`] shared by every row.
+    /// Fused execution: one [`FusePlan`] (at the caller's fusion level)
+    /// shared by every row.
     Fused(FusePlan),
     /// Scalar execution with per-op matrices that don't depend on the
     /// per-sample inputs precomputed once and shared by every row — bitwise
@@ -32,8 +131,9 @@ enum BatchMode {
 
 impl BatchMode {
     fn resolve(circuit: &Circuit, params: &[f64]) -> Self {
-        if fusion_enabled() {
-            BatchMode::Fused(FusePlan::new(circuit))
+        let level = fuse::fusion_level();
+        if level >= 1 {
+            BatchMode::Fused(FusePlan::with_level(circuit, level))
         } else {
             BatchMode::Tables(circuit.precompute_tables(params))
         }
@@ -44,6 +144,221 @@ impl BatchMode {
             BatchMode::Fused(plan) => plan.run(circuit, inputs, params),
             BatchMode::Tables(tables) => circuit.run_with_tables(tables, inputs, params),
         }
+    }
+}
+
+/// One step of a compiled gate-major program.
+enum SweepOp {
+    /// Row-independent single-qubit matrix: one whole-buffer kernel sweep.
+    SharedSingle { m: Matrix2, wire: usize },
+    /// Row-independent controlled matrix: one whole-buffer kernel sweep.
+    SharedControlled {
+        m: Matrix2,
+        control: usize,
+        target: usize,
+    },
+    /// Row-independent fused 4×4 pair matrix: one pair-quad kernel sweep.
+    SharedPair { m: Matrix4, low: usize, high: usize },
+    /// SWAP (never parametrized): one whole-buffer sweep.
+    Swap { a: usize, b: usize },
+    /// Input-dependent op `k`, resolved and applied per row.
+    RowOp(usize),
+    /// Input-dependent fused run, its matrix chain recomputed per row.
+    RowRun { wire: usize, ops: Vec<usize> },
+    /// Input-dependent fused pair, its 4×4 chain recomputed per row.
+    RowPair {
+        low: usize,
+        high: usize,
+        ops: Vec<usize>,
+    },
+}
+
+/// Whether the op's angle depends on the per-sample inputs — the same rule
+/// [`Circuit::precompute_tables`] uses to leave a table slot empty.
+fn input_dependent(op: &Op) -> bool {
+    matches!(op.param, ParamSource::Input(_))
+}
+
+/// A gate-major program compiled once per batch from the resolved
+/// [`BatchMode`]: every row-independent matrix is hoisted out of the
+/// per-row loop, everything input-dependent stays a per-row step. The
+/// per-row kernel sequence — and therefore every amplitude — is bitwise
+/// identical to [`BatchMode::run_row`].
+struct BatchProgram {
+    steps: Vec<SweepOp>,
+    /// Gate applications each row is billed for, matching what the
+    /// row-major path emits per row (op count unfused, segment count fused).
+    applies_per_row: u64,
+    /// Ops fusion eliminated per row (0 unfused).
+    collapsed_per_row: u64,
+}
+
+impl BatchProgram {
+    fn compile(circuit: &Circuit, mode: &BatchMode, params: &[f64]) -> Self {
+        let ops = circuit.ops();
+        let mut steps = Vec::new();
+        let (applies_per_row, collapsed_per_row) = match mode {
+            BatchMode::Tables(tables) => {
+                for (k, (op, table)) in ops.iter().zip(tables).enumerate() {
+                    match (table, op.wires) {
+                        (Some(m), Wires::One(w)) => {
+                            steps.push(SweepOp::SharedSingle { m: *m, wire: w });
+                        }
+                        (Some(m), Wires::Two(a, b)) => steps.push(SweepOp::SharedControlled {
+                            m: *m,
+                            control: a,
+                            target: b,
+                        }),
+                        (None, Wires::Two(a, b)) if op.kind == GateKind::Swap => {
+                            steps.push(SweepOp::Swap { a, b });
+                        }
+                        (None, _) => steps.push(SweepOp::RowOp(k)),
+                    }
+                }
+                (ops.len() as u64, 0)
+            }
+            BatchMode::Fused(plan) => {
+                for segment in plan.segments() {
+                    match segment {
+                        Segment::Run { wire, ops: run } => {
+                            if run.iter().any(|&k| input_dependent(&ops[k])) {
+                                steps.push(SweepOp::RowRun {
+                                    wire: *wire,
+                                    ops: run.clone(),
+                                });
+                            } else {
+                                // Same left-multiplied chain as `FusePlan::run`,
+                                // hoisted because no angle reads the inputs.
+                                let mut m = fuse::resolved_matrix(&ops[run[0]], &[], params);
+                                for &k in &run[1..] {
+                                    m = matmul2(&fuse::resolved_matrix(&ops[k], &[], params), &m);
+                                }
+                                steps.push(SweepOp::SharedSingle { m, wire: *wire });
+                            }
+                        }
+                        Segment::Pair { low, high, ops: pair } => {
+                            if pair.iter().any(|&k| input_dependent(&ops[k])) {
+                                steps.push(SweepOp::RowPair {
+                                    low: *low,
+                                    high: *high,
+                                    ops: pair.clone(),
+                                });
+                            } else {
+                                let m = fuse::pair_matrix(circuit, *low, *high, pair, &[], params);
+                                steps.push(SweepOp::SharedPair {
+                                    m,
+                                    low: *low,
+                                    high: *high,
+                                });
+                            }
+                        }
+                        Segment::Direct(k) => {
+                            let op = &ops[*k];
+                            match op.wires {
+                                Wires::Two(a, b) if op.kind == GateKind::Swap => {
+                                    steps.push(SweepOp::Swap { a, b });
+                                }
+                                _ if input_dependent(op) => steps.push(SweepOp::RowOp(*k)),
+                                Wires::One(w) => steps.push(SweepOp::SharedSingle {
+                                    m: fuse::resolved_matrix(op, &[], params),
+                                    wire: w,
+                                }),
+                                Wires::Two(a, b) => steps.push(SweepOp::SharedControlled {
+                                    m: fuse::resolved_matrix(op, &[], params),
+                                    control: a,
+                                    target: b,
+                                }),
+                            }
+                        }
+                    }
+                }
+                (plan.fused_ops() as u64, plan.collapsed_ops() as u64)
+            }
+        };
+        Self {
+            steps,
+            applies_per_row,
+            collapsed_per_row,
+        }
+    }
+
+    /// Sweeps the program across rows `row0 .. row0 + rows` of the batch in
+    /// one contiguous [`BatchState`]. Telemetry is emitted at chunk
+    /// granularity with the same totals the row-major path would produce.
+    fn sweep_chunk(
+        &self,
+        circuit: &Circuit,
+        inputs: &Matrix,
+        params: &[f64],
+        row0: usize,
+        rows: usize,
+    ) -> BatchState {
+        let _span = hqnn_telemetry::span("qsim.batch_sweep");
+        hqnn_telemetry::counter("qsim.circuit_runs", rows as u64);
+        hqnn_telemetry::counter("qsim.gate_applies", self.applies_per_row * rows as u64);
+        if self.collapsed_per_row > 0 {
+            hqnn_telemetry::counter("qsim.fuse_collapsed", self.collapsed_per_row * rows as u64);
+        }
+        hqnn_telemetry::gauge_max("qsim.statevector_len", (1u64 << circuit.n_qubits()) as f64);
+        let ops = circuit.ops();
+        let mut batch = BatchState::new(circuit.n_qubits(), rows);
+        for step in &self.steps {
+            match step {
+                SweepOp::SharedSingle { m, wire } => batch.apply_single_all(m, *wire),
+                SweepOp::SharedControlled { m, control, target } => {
+                    batch.apply_controlled_all(m, *control, *target);
+                }
+                SweepOp::SharedPair { m, low, high } => batch.apply_pair_all(m, *low, *high),
+                SweepOp::Swap { a, b } => batch.apply_swap_all(*a, *b),
+                SweepOp::RowOp(k) => {
+                    let op = &ops[*k];
+                    for j in 0..rows {
+                        apply_op_amps(op, batch.row_mut(j), inputs.row(row0 + j), params);
+                    }
+                }
+                SweepOp::RowRun { wire, ops: run } => {
+                    for j in 0..rows {
+                        let x = inputs.row(row0 + j);
+                        let mut m = fuse::resolved_matrix(&ops[run[0]], x, params);
+                        for &k in &run[1..] {
+                            m = matmul2(&fuse::resolved_matrix(&ops[k], x, params), &m);
+                        }
+                        apply_single_amps(batch.row_mut(j), &m, *wire);
+                    }
+                }
+                SweepOp::RowPair { low, high, ops: pair } => {
+                    for j in 0..rows {
+                        let m = fuse::pair_matrix(
+                            circuit,
+                            *low,
+                            *high,
+                            pair,
+                            inputs.row(row0 + j),
+                            params,
+                        );
+                        apply_pair_amps(batch.row_mut(j), &m, *low, *high);
+                    }
+                }
+            }
+        }
+        batch
+    }
+}
+
+/// Mirror of [`Circuit::apply_op`] over one row's amplitude slice: same
+/// angle resolution, same matrices, same kernels — bitwise identical.
+fn apply_op_amps(op: &Op, row: &mut [C64], inputs: &[f64], params: &[f64]) {
+    let theta = if op.kind.is_parametrized() {
+        op.param.resolve(inputs, params)
+    } else {
+        0.0
+    };
+    match op.wires {
+        Wires::One(w) => apply_single_amps(row, &op.kind.matrix(theta), w),
+        Wires::Two(a, b) => match op.kind {
+            GateKind::Swap => apply_swap_amps(row, a, b),
+            _ => transform_control1_pairs_amps(row, &op.kind.matrix(theta), 1usize << a, 1usize << b),
+        },
     }
 }
 
@@ -71,11 +386,35 @@ impl Circuit {
         self.check_batch(inputs, params);
         let _span = hqnn_telemetry::span("qsim.run_batch");
         let mode = BatchMode::resolve(self, params);
-        hqnn_runtime::par_map_range(inputs.rows(), |r| mode.run_row(self, inputs.row(r), params))
+        match batch_layout() {
+            BatchLayout::Row => hqnn_runtime::par_map_range(inputs.rows(), |r| {
+                mode.run_row(self, inputs.row(r), params)
+            }),
+            BatchLayout::Gate => {
+                let program = BatchProgram::compile(self, &mode, params);
+                let chunk = chunk_rows_for(self.n_qubits());
+                let n_chunks = inputs.rows().div_ceil(chunk);
+                let chunks = hqnn_runtime::par_map_range(n_chunks, |c| {
+                    let row0 = c * chunk;
+                    let rows = chunk.min(inputs.rows() - row0);
+                    program.sweep_chunk(self, inputs, params, row0, rows)
+                });
+                let mut out = Vec::with_capacity(inputs.rows());
+                for batch in chunks {
+                    out.extend(batch.into_states());
+                }
+                out
+            }
+        }
     }
 
     /// Runs the circuit once per row of `inputs` and evaluates every
     /// observable, returning a `(inputs.rows(), observables.len())` matrix.
+    ///
+    /// Expectations are written directly into the preallocated output
+    /// matrix — workers receive disjoint row blocks via
+    /// [`hqnn_runtime::par_chunks_mut`] — so no per-row `Vec`s are
+    /// collected and re-flattened.
     ///
     /// # Panics
     ///
@@ -89,16 +428,39 @@ impl Circuit {
     ) -> Matrix {
         self.check_batch(inputs, params);
         let _span = hqnn_telemetry::span("qsim.expectations_batch");
+        let n_rows = inputs.rows();
+        let n_obs = observables.len();
+        let mut out = Matrix::zeros(n_rows, n_obs);
+        if n_rows == 0 || n_obs == 0 {
+            return out;
+        }
         let mode = BatchMode::resolve(self, params);
-        let rows = hqnn_runtime::par_map_range(inputs.rows(), |r| {
-            let state = mode.run_row(self, inputs.row(r), params);
-            observables
-                .iter()
-                .map(|o| o.expectation(&state))
-                .collect::<Vec<f64>>()
-        });
-        let data: Vec<f64> = rows.into_iter().flatten().collect();
-        Matrix::from_vec(inputs.rows(), observables.len(), data)
+        match batch_layout() {
+            BatchLayout::Row => {
+                hqnn_runtime::par_chunks_mut(out.as_mut_slice(), n_obs, |r, dst| {
+                    let state = mode.run_row(self, inputs.row(r), params);
+                    for (slot, o) in dst.iter_mut().zip(observables) {
+                        *slot = o.expectation(&state);
+                    }
+                });
+            }
+            BatchLayout::Gate => {
+                let program = BatchProgram::compile(self, &mode, params);
+                let chunk = chunk_rows_for(self.n_qubits());
+                hqnn_runtime::par_chunks_mut(out.as_mut_slice(), chunk * n_obs, |c, dst| {
+                    let row0 = c * chunk;
+                    let rows = dst.len() / n_obs;
+                    let batch = program.sweep_chunk(self, inputs, params, row0, rows);
+                    for j in 0..rows {
+                        let row = batch.row(j);
+                        for (i, o) in observables.iter().enumerate() {
+                            dst[j * n_obs + i] = o.expectation_amps(self.n_qubits(), row);
+                        }
+                    }
+                });
+            }
+        }
+        out
     }
 
     fn check_batch(&self, inputs: &Matrix, params: &[f64]) {
@@ -119,6 +481,8 @@ impl Circuit {
 
 /// Computes [`Gradients`] for every row of `inputs` with the chosen engine,
 /// returned in row order (bitwise identical to calling the engine per row).
+/// Gradient engines replay the original op stream per row, so this seam
+/// always fans out row-major regardless of `HQNN_BATCH`.
 ///
 /// # Panics
 ///
@@ -174,19 +538,77 @@ mod tests {
     }
 
     #[test]
+    fn layout_override_nests_and_restores() {
+        let ambient = batch_layout();
+        let inner = with_batch_layout(BatchLayout::Row, || {
+            assert_eq!(batch_layout(), BatchLayout::Row);
+            with_batch_layout(BatchLayout::Gate, batch_layout)
+        });
+        assert_eq!(inner, BatchLayout::Gate);
+        assert_eq!(batch_layout(), ambient);
+    }
+
+    #[test]
+    fn layout_override_restores_on_panic() {
+        let ambient = batch_layout();
+        let flipped = match ambient {
+            BatchLayout::Gate => BatchLayout::Row,
+            BatchLayout::Row => BatchLayout::Gate,
+        };
+        let result =
+            std::panic::catch_unwind(|| with_batch_layout(flipped, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(batch_layout(), ambient);
+    }
+
+    #[test]
     fn run_batch_matches_per_row_runs() {
         let c = encoder_circuit();
         let x = sample_batch();
         let params = [0.5, -0.3];
-        for threads in [1, 2, 7] {
-            let batch = hqnn_runtime::with_threads(threads, || c.run_batch(&x, &params));
-            assert_eq!(batch.len(), x.rows());
-            for (r, state) in batch.iter().enumerate() {
-                let solo = c.run(x.row(r), &params);
-                // Bitwise: same code path per row, only scheduling differs.
-                for (a, b) in state.amplitudes().iter().zip(solo.amplitudes()) {
-                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "threads={threads} row={r}");
-                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "threads={threads} row={r}");
+        for layout in [BatchLayout::Gate, BatchLayout::Row] {
+            for threads in [1, 2, 7] {
+                let batch = with_batch_layout(layout, || {
+                    hqnn_runtime::with_threads(threads, || c.run_batch(&x, &params))
+                });
+                assert_eq!(batch.len(), x.rows());
+                for (r, state) in batch.iter().enumerate() {
+                    let solo = c.run(x.row(r), &params);
+                    // Bitwise: same kernels in the same order per row, only
+                    // the sweep layout and scheduling differ.
+                    for (a, b) in state.amplitudes().iter().zip(solo.amplitudes()) {
+                        assert_eq!(
+                            a.re.to_bits(),
+                            b.re.to_bits(),
+                            "layout={layout:?} threads={threads} row={r}"
+                        );
+                        assert_eq!(
+                            a.im.to_bits(),
+                            b.im.to_bits(),
+                            "layout={layout:?} threads={threads} row={r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_and_row_layouts_agree_bitwise_fused() {
+        let c = encoder_circuit();
+        let x = sample_batch();
+        let params = [0.5, -0.3];
+        for level in [1u8, 2] {
+            let (gate, row) = crate::fuse::with_fusion_level(level, || {
+                (
+                    with_batch_layout(BatchLayout::Gate, || c.run_batch(&x, &params)),
+                    with_batch_layout(BatchLayout::Row, || c.run_batch(&x, &params)),
+                )
+            });
+            for (r, (g, w)) in gate.iter().zip(&row).enumerate() {
+                for (a, b) in g.amplitudes().iter().zip(w.amplitudes()) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "level={level} row={r}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "level={level} row={r}");
                 }
             }
         }
@@ -200,17 +622,36 @@ mod tests {
         let obs = z_all(2);
         let seq = hqnn_runtime::with_threads(1, || c.expectations_batch(&x, &params, &obs));
         assert_eq!(seq.shape(), (5, 2));
-        for threads in [2, 7] {
-            let par =
-                hqnn_runtime::with_threads(threads, || c.expectations_batch(&x, &params, &obs));
-            assert_eq!(par.shape(), seq.shape());
-            for (a, b) in par.as_slice().iter().zip(seq.as_slice()) {
-                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+        for layout in [BatchLayout::Gate, BatchLayout::Row] {
+            for threads in [2, 7] {
+                let par = with_batch_layout(layout, || {
+                    hqnn_runtime::with_threads(threads, || c.expectations_batch(&x, &params, &obs))
+                });
+                assert_eq!(par.shape(), seq.shape());
+                for (a, b) in par.as_slice().iter().zip(seq.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "layout={layout:?} threads={threads}");
+                }
             }
         }
         for r in 0..x.rows() {
             let solo = c.expectations(x.row(r), &params, &obs);
             assert_eq!(seq.row(r), &solo[..]);
+        }
+    }
+
+    #[test]
+    fn swap_gates_sweep_correctly_gate_major() {
+        // SWAP takes the dedicated sweep step (no matrix table entry).
+        let mut c = Circuit::new(3);
+        c.rx(0, ParamSource::Input(0));
+        c.swap(0, 2);
+        c.ry(1, ParamSource::Trainable(0));
+        let x = Matrix::from_vec(3, 1, vec![0.3, -0.8, 1.4]);
+        let params = [0.9];
+        let gate = with_batch_layout(BatchLayout::Gate, || c.run_batch(&x, &params));
+        for (r, state) in gate.iter().enumerate() {
+            let solo = c.run(x.row(r), &params);
+            assert_eq!(state.amplitudes(), solo.amplitudes(), "row={r}");
         }
     }
 
@@ -249,9 +690,13 @@ mod tests {
     fn empty_batch_is_fine() {
         let c = encoder_circuit();
         let x = Matrix::zeros(0, 2);
-        assert!(c.run_batch(&x, &[0.0, 0.0]).is_empty());
-        let e = c.expectations_batch(&x, &[0.0, 0.0], &z_all(2));
-        assert_eq!(e.shape(), (0, 2));
+        for layout in [BatchLayout::Gate, BatchLayout::Row] {
+            with_batch_layout(layout, || {
+                assert!(c.run_batch(&x, &[0.0, 0.0]).is_empty());
+                let e = c.expectations_batch(&x, &[0.0, 0.0], &z_all(2));
+                assert_eq!(e.shape(), (0, 2));
+            });
+        }
         let noise = NoiseModel::depolarizing(0.05);
         for engine in [
             GradEngine::Adjoint,
@@ -279,6 +724,16 @@ mod tests {
                     assert_eq!(e.shape(), (0, 2));
                 });
             });
+        }
+    }
+
+    #[test]
+    fn zero_observables_yield_empty_columns() {
+        let c = encoder_circuit();
+        let x = sample_batch();
+        for layout in [BatchLayout::Gate, BatchLayout::Row] {
+            let e = with_batch_layout(layout, || c.expectations_batch(&x, &[0.0, 0.0], &[]));
+            assert_eq!(e.shape(), (5, 0));
         }
     }
 

@@ -365,8 +365,9 @@ impl Circuit {
     /// Panics if `inputs.len() < input_count()` or
     /// `params.len() < trainable_count()`.
     pub fn run(&self, inputs: &[f64], params: &[f64]) -> StateVector {
-        if crate::fuse::fusion_enabled() {
-            return crate::fuse::FusePlan::new(self).run(self, inputs, params);
+        let level = crate::fuse::fusion_level();
+        if level >= 1 {
+            return crate::fuse::FusePlan::with_level(self, level).run(self, inputs, params);
         }
         self.run_unfused(inputs, params)
     }

@@ -73,6 +73,10 @@ pub fn adjoint(
         let mut psi = final_state.clone();
         let mut lambda = final_state.clone();
         obs.apply_to(&mut lambda);
+        // One scratch state reused across the reverse sweep: refilling it
+        // copies the same bits `psi.clone()` would, without reallocating
+        // 2^n amplitudes per differentiable gate.
+        let mut mu = final_state.clone();
 
         for op in circuit.ops().iter().rev() {
             // ψ ← U† ψ : recover the pre-gate state.
@@ -85,7 +89,7 @@ pub fn adjoint(
                     .dmatrix(theta)
                     // lint:allow(panic): grad loop only visits parametrized ops
                     .expect("differentiable op must be parametrized");
-                let mut mu = psi.clone();
+                mu.copy_amps_from(&psi);
                 match op.wires {
                     Wires::One(w) => mu.apply_single(&dm, w),
                     Wires::Two(c, t) => {

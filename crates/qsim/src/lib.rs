@@ -35,6 +35,7 @@
 
 pub mod ansatz;
 pub mod batch;
+pub mod batch_state;
 pub mod circuit;
 pub mod complex;
 pub mod density;
@@ -50,17 +51,19 @@ pub mod state;
 pub mod verify;
 
 pub use ansatz::{EntanglerKind, QnnTemplate, RotationAxis};
-pub use batch::{gradients_batch, GradEngine};
+pub use batch::{batch_layout, gradients_batch, with_batch_layout, GradEngine};
+pub use batch_state::BatchState;
 pub use circuit::{Circuit, Op, ParamSource, Wires};
 pub use complex::C64;
 pub use density::DensityMatrix;
-pub use fuse::{fusion_enabled, with_fusion, FusePlan};
+pub use fuse::{fusion_enabled, fusion_level, with_fusion, with_fusion_level, FusePlan};
 pub use gates::GateKind;
 pub use gradient::{adjoint, finite_diff, parameter_shift, Gradients};
+pub use hqnn_telemetry::env::BatchLayout;
 pub use noise::{NoiseChannel, NoiseModel};
 pub use observable::{Observable, Pauli};
 pub use state::StateVector;
-pub use verify::{unitarity_deviation, VerifyError, UNITARITY_TOL};
+pub use verify::{unitarity_deviation, unitarity_deviation4, VerifyError, UNITARITY_TOL};
 
 /// Maximum supported qubit count. A 2²⁴-amplitude state is ~256 MiB of
 /// complex doubles — beyond that a dense simulator stops being the right

@@ -120,13 +120,28 @@ impl Observable {
     ///
     /// Panics if a factor's wire is out of range for the state.
     pub fn expectation(&self, state: &StateVector) -> f64 {
+        self.expectation_amps(state.n_qubits(), state.amplitudes())
+    }
+
+    /// Expectation over a raw amplitude slice (one batch row of a
+    /// [`crate::BatchState`]). Shares the exact FP operation sequence with
+    /// [`Self::expectation`] so batch layouts stay bitwise identical.
+    pub(crate) fn expectation_amps(&self, n_qubits: usize, amps: &[C64]) -> f64 {
         // Fast path: a single-Z observable has a closed form.
         if let [(wire, Pauli::Z)] = self.factors[..] {
-            return state.expectation_z(wire);
+            assert!(wire < n_qubits, "wire {wire} out of range");
+            return crate::state::expectation_z_amps(amps, wire);
         }
-        let mut applied = state.clone();
-        self.apply_to(&mut applied);
-        let e: C64 = state.inner(&applied);
+        let mut applied = amps.to_vec();
+        for &(wire, p) in &self.factors {
+            assert!(wire < n_qubits, "wire {wire} out of range");
+            crate::state::apply_single_amps(&mut applied, &p.gate().matrix(0.0), wire);
+        }
+        // Same fold as `StateVector::inner` so the FP sequence matches.
+        let e: C64 = amps
+            .iter()
+            .zip(&applied)
+            .fold(C64::ZERO, |acc, (a, b)| acc + a.conj() * *b);
         debug_assert!(e.im.abs() < 1e-9, "expectation should be real, got {e}");
         e.re
     }

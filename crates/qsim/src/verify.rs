@@ -29,7 +29,7 @@ use std::fmt;
 
 use crate::circuit::{Circuit, ParamSource, Wires};
 use crate::complex::C64;
-use crate::gates::{dagger, matmul2, GateKind, Matrix2};
+use crate::gates::{dagger, dagger4, matmul2, matmul4, GateKind, Matrix2, Matrix4};
 
 /// Maximum tolerated deviation of `U·U†` from the identity.
 pub const UNITARITY_TOL: f64 = 1e-12;
@@ -205,6 +205,24 @@ pub fn unitarity_deviation(m: &Matrix2) -> f64 {
     worst
 }
 
+/// Max elementwise deviation of `m·m†` from the identity for a fused 4×4
+/// pair matrix — `0.0` for an exactly unitary matrix.
+pub fn unitarity_deviation4(m: &Matrix4) -> f64 {
+    let p = matmul4(m, &dagger4(m));
+    let mut worst = 0.0f64;
+    for (r, row) in p.iter().enumerate() {
+        for (c, entry) in row.iter().enumerate() {
+            let expected = if r == c { C64::ONE } else { C64::ZERO };
+            let mag = (*entry - expected).norm();
+            if mag.is_nan() {
+                return f64::INFINITY;
+            }
+            worst = worst.max(mag);
+        }
+    }
+    worst
+}
+
 impl Circuit {
     /// Verifies the whole IR invariant set (see the [module docs](self)).
     ///
@@ -328,11 +346,14 @@ impl Circuit {
                 return Err(VerifyError::AdjointIncompatible { op: i, kind });
             }
         }
-        // Fusion legality: the structural pass must cover every op exactly
-        // once, with every fused run a same-wire single-qubit chain.
-        crate::fuse::FusePlan::new(self)
-            .audit(self)
-            .map_err(|detail| VerifyError::FusionIllegal { detail })?;
+        // Fusion legality: the structural pass at every level must cover
+        // each op exactly once — level 1 with same-wire single-qubit runs,
+        // level 2 additionally with legal CNOT/CZ pair segments.
+        for level in [1u8, 2] {
+            crate::fuse::FusePlan::with_level(self, level)
+                .audit(self)
+                .map_err(|detail| VerifyError::FusionIllegal { detail })?;
+        }
         Ok(())
     }
 }

@@ -1,0 +1,146 @@
+//! Property tests: the gate-major batch layout is bitwise identical to the
+//! row-major layout and to the per-row sequential loop — across random
+//! circuits up to 10 qubits, batch sizes, thread budgets, and fusion levels
+//! 0/1/2.
+//!
+//! This is the contract that makes `HQNN_BATCH` safe to flip: the layout
+//! changes *when* each gate touches each row's amplitudes, never the FP
+//! operation sequence inside a row, so study JSON and training curves are
+//! byte-identical whichever layout produced them.
+
+use hqnn_qsim::{
+    with_batch_layout, with_fusion_level, BatchLayout, Circuit, GateKind, Observable,
+    ParamSource, StateVector,
+};
+use hqnn_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Thread budgets exercised per case: sequential, even, and an odd count
+/// that never divides chunk counts cleanly.
+const THREADS: [usize; 3] = [1, 2, 7];
+
+/// Fusion levels: off, single-qubit runs, two-qubit pairs.
+const LEVELS: [u8; 3] = [0, 1, 2];
+
+/// A random scenario that exercises every compiled sweep-step kind:
+/// input-dependent encoding rotations (per-row steps), trainable rotations
+/// and CNOT rings (shared steps, fusable into runs and pairs), plus
+/// optionally SWAPs and an input-driven controlled rotation.
+fn scenario() -> impl Strategy<Value = (Circuit, Vec<f64>, Matrix)> {
+    (
+        2usize..=10,
+        1usize..=2,
+        0u8..3,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(n, depth, axis, use_swap, use_ctrl_input)| {
+            let mut c = Circuit::new(n);
+            for w in 0..n {
+                c.rx(w, ParamSource::Input(w % 2));
+            }
+            if use_ctrl_input {
+                c.controlled_rotation(GateKind::Crx, 0, 1, ParamSource::Input(0));
+            }
+            let mut slot = 0;
+            for d in 0..depth {
+                for w in 0..n {
+                    let p = ParamSource::Trainable(slot);
+                    slot += 1;
+                    match (axis as usize + d + w) % 3 {
+                        0 => c.rx(w, p),
+                        1 => c.ry(w, p),
+                        _ => c.rz(w, p),
+                    }
+                }
+                for w in 0..n {
+                    c.cnot(w, (w + 1) % n);
+                }
+                if use_swap {
+                    c.swap(0, n - 1);
+                }
+            }
+            c
+        })
+        .prop_flat_map(|c| {
+            let n_params = c.trainable_count();
+            let cols = c.input_count();
+            let params = proptest::collection::vec(-3.0f64..3.0, n_params..=n_params.max(1));
+            let batch = (1usize..=6).prop_flat_map(move |rows| {
+                proptest::collection::vec(-2.0f64..2.0, rows * cols)
+                    .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+            });
+            (Just(c), params, batch)
+        })
+}
+
+fn amp_bits(states: &[StateVector]) -> Vec<Vec<(u64, u64)>> {
+    states
+        .iter()
+        .map(|s| {
+            s.amplitudes()
+                .iter()
+                .map(|a| (a.re.to_bits(), a.im.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn layouts_match_per_row_bitwise_at_every_fusion_level(
+        (c, params, x) in scenario()
+    ) {
+        for level in LEVELS {
+            // Per-row reference at this fusion level — the sequential loop
+            // both layouts must reproduce bit for bit.
+            let reference: Vec<StateVector> = with_fusion_level(level, || {
+                (0..x.rows()).map(|r| c.run(x.row(r), &params)).collect()
+            });
+            let want = amp_bits(&reference);
+            for layout in [BatchLayout::Gate, BatchLayout::Row] {
+                for threads in THREADS {
+                    let got = with_fusion_level(level, || {
+                        with_batch_layout(layout, || {
+                            hqnn_runtime::with_threads(threads, || c.run_batch(&x, &params))
+                        })
+                    });
+                    prop_assert_eq!(
+                        &amp_bits(&got), &want,
+                        "level={} layout={:?} threads={}", level, layout, threads
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expectations_agree_across_layouts_bitwise(
+        (c, params, x) in scenario()
+    ) {
+        let obs: Vec<Observable> = (0..c.n_qubits()).map(Observable::z).collect();
+        for level in LEVELS {
+            let reference = with_fusion_level(level, || {
+                with_batch_layout(BatchLayout::Row, || {
+                    hqnn_runtime::with_threads(1, || c.expectations_batch(&x, &params, &obs))
+                })
+            });
+            let want: Vec<u64> = reference.as_slice().iter().map(|v| v.to_bits()).collect();
+            for threads in THREADS {
+                let got = with_fusion_level(level, || {
+                    with_batch_layout(BatchLayout::Gate, || {
+                        hqnn_runtime::with_threads(threads, || {
+                            c.expectations_batch(&x, &params, &obs)
+                        })
+                    })
+                });
+                prop_assert_eq!((got.rows(), got.cols()), (x.rows(), obs.len()));
+                let got_bits: Vec<u64> =
+                    got.as_slice().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&got_bits, &want, "level={} threads={}", level, threads);
+            }
+        }
+    }
+}

@@ -49,7 +49,7 @@
 
 mod pool;
 
-pub use pool::{par_map, par_map_range};
+pub use pool::{par_chunks_mut, par_map, par_map_range};
 
 use std::cell::Cell;
 use std::sync::OnceLock;

@@ -1,40 +1,51 @@
 //! Acceptance test for the batch execution engine: a full study produces
 //! **byte-identical** JSON at `HQNN_THREADS=1` and `HQNN_THREADS=8` with the
-//! same seeds. This is the end-to-end determinism criterion the refactor is
-//! gated on — every parallel seam (qsim batches, nn reductions, tensor
-//! matmul, search combo waves) sits under this study.
+//! same seeds, under **both** `HQNN_BATCH` layouts. This is the end-to-end
+//! determinism criterion the refactor is gated on — every parallel seam
+//! (qsim batches, nn reductions, tensor matmul, search combo waves) sits
+//! under this study, and the gate-major sweep must not change a byte of it.
 
+use hqnn_qsim::{with_batch_layout, BatchLayout};
 use hqnn_search::{ExperimentConfig, StudyResult};
 
-/// One smoke-scale study at the given thread budget, serialised to the same
-/// pretty JSON that `StudyResult::save` writes. The manifest stays `None`
-/// (as `StudyResult::new` leaves it), so the comparison covers every
-/// computed number without provenance noise like timestamps.
-fn study_json(threads: usize) -> String {
-    hqnn_runtime::with_threads(threads, || {
-        let mut config = ExperimentConfig::smoke();
-        config.levels = vec![4];
-        let mut study = StudyResult::new(config);
-        study.run_classical();
-        study.run_bel();
-        serde_json::to_string_pretty(&study).expect("serialize study")
+/// One smoke-scale study at the given thread budget and batch layout,
+/// serialised to the same pretty JSON that `StudyResult::save` writes. The
+/// manifest stays `None` (as `StudyResult::new` leaves it), so the
+/// comparison covers every computed number without provenance noise like
+/// timestamps.
+fn study_json(threads: usize, layout: BatchLayout) -> String {
+    with_batch_layout(layout, || {
+        hqnn_runtime::with_threads(threads, || {
+            let mut config = ExperimentConfig::smoke();
+            config.levels = vec![4];
+            let mut study = StudyResult::new(config);
+            study.run_classical();
+            study.run_bel();
+            serde_json::to_string_pretty(&study).expect("serialize study")
+        })
     })
 }
 
 #[test]
-fn study_json_is_byte_identical_at_1_and_8_threads() {
-    let sequential = study_json(1);
-    let parallel = study_json(8);
-    assert!(
-        sequential == parallel,
-        "study JSON diverged between 1 and 8 threads\n\
-         first differing byte at offset {:?}",
-        sequential
-            .bytes()
-            .zip(parallel.bytes())
-            .position(|(a, b)| a != b)
-    );
+fn study_json_is_byte_identical_across_threads_and_layouts() {
+    let reference = study_json(1, BatchLayout::Row);
+    for (threads, layout) in [
+        (8, BatchLayout::Row),
+        (1, BatchLayout::Gate),
+        (8, BatchLayout::Gate),
+    ] {
+        let other = study_json(threads, layout);
+        assert!(
+            reference == other,
+            "study JSON diverged between (threads=1, row) and (threads={threads}, {layout:?})\n\
+             first differing byte at offset {:?}",
+            reference
+                .bytes()
+                .zip(other.bytes())
+                .position(|(a, b)| a != b)
+        );
+    }
     // Sanity: the study actually ran something.
-    assert!(sequential.contains("\"classical\""));
-    assert!(sequential.len() > 1_000);
+    assert!(reference.contains("\"classical\""));
+    assert!(reference.len() > 1_000);
 }

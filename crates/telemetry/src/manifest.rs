@@ -33,11 +33,20 @@ pub struct RunManifest {
     /// between runs with equal `threads`.
     pub threads: usize,
     /// Whether the run's environment enabled the qsim gate-fusion path
-    /// (`HQNN_FUSE=1`/`true`/`on`). Fused and unfused runs agree only to
-    /// rounding, so published numbers are comparable only between runs with
-    /// equal `fuse`. Defaults to `false` when absent (pre-fusion manifests).
+    /// (`HQNN_FUSE=1`/`true`/`on` for level 1, `2` for two-qubit pair
+    /// fusion). Fused and unfused runs agree only to rounding, so published
+    /// numbers are comparable only between runs with equal `fuse`. Defaults
+    /// to `false` when absent (pre-fusion manifests).
     #[serde(default)]
     pub fuse: bool,
+    /// Batch execution layout the run's environment selected
+    /// (`HQNN_BATCH`): `"gate"` (gate-major sweeps, the default) or
+    /// `"row"`. Layouts are bitwise identical, so numbers stay comparable
+    /// across them — the stamp records which code path produced a timing.
+    /// Defaults to `""` when absent (pre-layout manifests, which always ran
+    /// row-major).
+    #[serde(default)]
+    pub batch: String,
     /// Whether the run counted allocations (`HQNN_ALLOC=1`/`true`/`on`).
     /// Counting never changes numerics, but it adds allocator bookkeeping
     /// that can perturb timings, so timed comparisons should match on
@@ -71,6 +80,7 @@ impl RunManifest {
             hostname: hostname(),
             threads: configured_threads(),
             fuse: configured_fuse(),
+            batch: configured_batch(),
             alloc: configured_alloc(),
             config_hash: "-".to_string(),
             timestamp_unix: SystemTime::now()
@@ -100,6 +110,7 @@ impl RunManifest {
             ("hostname", self.hostname.clone().into()),
             ("threads", self.threads.into()),
             ("fuse", self.fuse.into()),
+            ("batch", self.batch.clone().into()),
             ("alloc", self.alloc.into()),
             ("config_hash", self.config_hash.clone().into()),
             ("timestamp_unix", self.timestamp_unix.into()),
@@ -125,9 +136,22 @@ pub fn config_hash<T: Serialize + ?Sized>(config: &T) -> String {
 /// crate, not the other way round); scoped `with_fusion` overrides are
 /// per-thread test/bench tooling and intentionally not reflected here.
 fn configured_fuse() -> bool {
+    // `parse_fuse_level`, not `parse_flag`: `HQNN_FUSE=2` (pair fusion)
+    // must stamp as fused too.
     crate::env::var("HQNN_FUSE")
-        .map(|raw| crate::env::parse_flag(&raw))
+        .map(|raw| crate::env::parse_fuse_level(&raw) >= 1)
         .unwrap_or(false)
+}
+
+/// Batch layout the run executes with. Mirrors `hqnn-qsim`'s resolution
+/// (`HQNN_BATCH` env, gate-major default; invalid values fall back to the
+/// default there too).
+fn configured_batch() -> String {
+    crate::env::var("HQNN_BATCH")
+        .and_then(|raw| crate::env::parse_batch_layout(&raw))
+        .unwrap_or(crate::env::BatchLayout::Gate)
+        .as_str()
+        .to_string()
 }
 
 /// Whether the environment enables allocation counting (`HQNN_ALLOC`).
@@ -226,5 +250,19 @@ mod tests {
         }"#;
         let m: RunManifest = serde_json::from_str(json).expect("parse");
         assert!(!m.fuse);
+        // Pre-layout manifests default to the empty string (those runs
+        // always executed row-major; "" distinguishes them from an explicit
+        // "row").
+        assert_eq!(m.batch, "");
+    }
+
+    #[test]
+    fn captured_batch_is_a_valid_layout_name() {
+        let m = RunManifest::capture("b");
+        assert!(
+            crate::env::parse_batch_layout(&m.batch).is_some(),
+            "captured batch {:?} must parse as a layout",
+            m.batch
+        );
     }
 }
