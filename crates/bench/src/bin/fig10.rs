@@ -7,19 +7,15 @@
 //! cargo run -p hqnn-bench --release --bin fig10 -- --paper # full protocol
 //! ```
 
-use hqnn_bench::{ensure_family, write_artifact, Cli};
+use hqnn_bench::{ensure_families, write_artifact, Cli};
 use hqnn_search::experiments::Family;
 use hqnn_search::report;
 
 fn main() {
     let cli = Cli::parse();
     let mut study = cli.load_study();
-    let mut ran = false;
-    for family in [Family::Classical, Family::HybridBel, Family::HybridSel] {
-        ran |= ensure_family(&mut study, family);
-    }
-    if ran {
-        cli.save_study(&mut study);
+    if let Some(plan) = ensure_families(&mut study, &Family::ALL) {
+        cli.save_study_sharded(&mut study, &plan);
     }
     let csv_path = cli.study_path().with_extension("csv");
     write_artifact(&csv_path, &report::winners_csv(&study));

@@ -6,15 +6,15 @@
 //! cargo run -p hqnn-bench --release --bin fig6 -- --paper # full protocol
 //! ```
 
-use hqnn_bench::{ensure_family, Cli};
+use hqnn_bench::{ensure_families, Cli};
 use hqnn_search::experiments::Family;
 use hqnn_search::report;
 
 fn main() {
     let cli = Cli::parse();
     let mut study = cli.load_study();
-    if ensure_family(&mut study, Family::Classical) {
-        cli.save_study(&mut study);
+    if let Some(plan) = ensure_families(&mut study, &[Family::Classical]) {
+        cli.save_study_sharded(&mut study, &plan);
     }
     println!("{}", report::scaling_table("classical", &study.classical));
     println!(

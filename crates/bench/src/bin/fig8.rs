@@ -6,15 +6,15 @@
 //! cargo run -p hqnn-bench --release --bin fig8 -- --paper # full protocol
 //! ```
 
-use hqnn_bench::{ensure_family, Cli};
+use hqnn_bench::{ensure_families, Cli};
 use hqnn_search::experiments::Family;
 use hqnn_search::report;
 
 fn main() {
     let cli = Cli::parse();
     let mut study = cli.load_study();
-    if ensure_family(&mut study, Family::HybridSel) {
-        cli.save_study(&mut study);
+    if let Some(plan) = ensure_families(&mut study, &[Family::HybridSel]) {
+        cli.save_study_sharded(&mut study, &plan);
     }
     println!(
         "{}",

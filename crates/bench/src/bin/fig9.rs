@@ -6,19 +6,15 @@
 //! cargo run -p hqnn-bench --release --bin fig9 -- --paper # full protocol
 //! ```
 
-use hqnn_bench::{ensure_family, Cli};
+use hqnn_bench::{ensure_families, Cli};
 use hqnn_search::experiments::Family;
 use hqnn_search::report;
 
 fn main() {
     let cli = Cli::parse();
     let mut study = cli.load_study();
-    let mut ran = false;
-    for family in [Family::Classical, Family::HybridBel, Family::HybridSel] {
-        ran |= ensure_family(&mut study, family);
-    }
-    if ran {
-        cli.save_study(&mut study);
+    if let Some(plan) = ensure_families(&mut study, &Family::ALL) {
+        cli.save_study_sharded(&mut study, &plan);
     }
     println!("{}", report::parameter_table(&study));
     println!(

@@ -9,19 +9,15 @@
 
 use std::fmt::Write as _;
 
-use hqnn_bench::{ensure_family, write_artifact, Cli};
+use hqnn_bench::{ensure_families, write_artifact, Cli};
 use hqnn_search::experiments::{table_one_from_study, table_one_paper_combos, Family};
 use hqnn_search::report;
 
 fn main() {
     let cli = Cli::parse();
     let mut study = cli.load_study();
-    let mut ran = false;
-    for family in [Family::Classical, Family::HybridBel, Family::HybridSel] {
-        ran |= ensure_family(&mut study, family);
-    }
-    if ran {
-        cli.save_study(&mut study);
+    if let Some(plan) = ensure_families(&mut study, &Family::ALL) {
+        cli.save_study_sharded(&mut study, &plan);
     }
 
     let mut md = String::new();

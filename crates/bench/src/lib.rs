@@ -33,7 +33,7 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use hqnn_search::experiments::Family;
-use hqnn_search::{ExperimentConfig, StudyResult};
+use hqnn_search::{ExperimentConfig, ShardPlan, StudyResult};
 use hqnn_telemetry as telemetry;
 
 /// Which protocol profile a binary runs with.
@@ -264,7 +264,18 @@ impl Cli {
     /// manifest first; failures warn rather than abort (the printed tables
     /// are the primary output).
     pub fn save_study(&self, study: &mut StudyResult) {
-        study.manifest = Some(self.manifest());
+        self.save_with_manifest(study, self.manifest());
+    }
+
+    /// Like [`Cli::save_study`], but records the [`ShardPlan`] the searches
+    /// were scheduled with in the manifest's `shard_plan` field, so cached
+    /// study JSON carries its scheduling provenance.
+    pub fn save_study_sharded(&self, study: &mut StudyResult, plan: &ShardPlan) {
+        self.save_with_manifest(study, self.manifest().with_shard_plan(&plan.descriptor()));
+    }
+
+    fn save_with_manifest(&self, study: &mut StudyResult, manifest: telemetry::RunManifest) {
+        study.manifest = Some(manifest);
         if let Err(e) = study.save(self.study_path()) {
             telemetry::event(
                 telemetry::Level::Error,
@@ -315,6 +326,41 @@ pub fn ensure_family(study: &mut StudyResult, family: Family) -> bool {
     );
     study.run_family(family, &mut |_, _, _| {});
     true
+}
+
+/// Ensures every listed family's search results are present in the study,
+/// running all the missing ones together as one sharded study — their
+/// (family × level) cells fan out over `hqnn_runtime::par_map_budgeted`, so
+/// a multi-family regeneration parallelises across the study's outermost
+/// loop instead of only within levels. Bitwise identical to running
+/// [`ensure_family`] per family, at any thread budget.
+///
+/// Returns the [`ShardPlan`] the missing families were scheduled with, or
+/// `None` when every family was already cached (pass it to
+/// [`Cli::save_study_sharded`] to record the provenance).
+pub fn ensure_families(study: &mut StudyResult, families: &[Family]) -> Option<ShardPlan> {
+    let missing: Vec<Family> = families
+        .iter()
+        .copied()
+        .filter(|&family| study.family(family).is_empty())
+        .collect();
+    if missing.is_empty() {
+        return None;
+    }
+    for &family in &missing {
+        telemetry::event(
+            telemetry::Level::Info,
+            "search.family_start",
+            &[
+                ("family", family.name().into()),
+                ("levels", format!("{:?}", study.config.levels).into()),
+                ("threshold", study.config.search.accuracy_threshold.into()),
+                ("runs", study.config.search.runs_per_combo.into()),
+                ("reps", study.config.search.repetitions.into()),
+            ],
+        );
+    }
+    Some(study.run_study_sharded(&missing, &mut |_, _, _, _| {}))
 }
 
 /// Writes a generated artifact (markdown report, CSV export) and reports
@@ -382,5 +428,21 @@ mod tests {
         let mut study = StudyResult::new(ExperimentConfig::smoke());
         study.run_classical();
         assert!(!ensure_family(&mut study, Family::Classical));
+    }
+
+    #[test]
+    fn ensure_families_shards_only_the_missing_ones() {
+        let mut study = StudyResult::new(ExperimentConfig::smoke());
+        study.run_classical();
+        let cached = study.clone();
+        let plan = ensure_families(&mut study, &[Family::Classical, Family::HybridBel])
+            .expect("BEL was missing, a search must run");
+        // Only BEL's cells were scheduled; classical results are untouched.
+        assert!(plan.cells.iter().all(|c| c.family == Family::HybridBel));
+        assert_eq!(plan.cells.len(), study.config.levels.len());
+        assert_eq!(study.classical, cached.classical);
+        assert!(!study.hybrid_bel.is_empty());
+        // Second call: everything present, nothing runs.
+        assert!(ensure_families(&mut study, &[Family::Classical, Family::HybridBel]).is_none());
     }
 }

@@ -603,6 +603,56 @@ pub fn default_suite() -> Vec<Benchmark> {
         });
     }
 
+    // -- search.study_seq / search.study_sharded: the whole-study seam ----
+    // A miniature two-family study (the smallest shape with more than one
+    // (family × level) cell), run once through the sequential per-family
+    // loops and once through `run_study_sharded`. Both are bitwise
+    // identical by construction; their wall-clock ratio is the study-level
+    // sharding win the CI smoke gate reads out (≈1.0 at one thread, where
+    // the outer fan-out degenerates to the same sequential order).
+    {
+        let study_config = || {
+            let mut config = hqnn_search::ExperimentConfig::smoke();
+            config.levels = vec![4];
+            config.search.dataset_samples = 90;
+            config.search.train = config.search.train.with_epochs(4);
+            config.search.max_combos_per_repetition = 2;
+            config
+        };
+        const FAMILIES: [hqnn_search::Family; 2] = [
+            hqnn_search::Family::Classical,
+            hqnn_search::Family::HybridBel,
+        ];
+        let config_seq = study_config();
+        suite.push(Benchmark {
+            id: "search.study_seq",
+            throughput_unit: "studies",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: None,
+            heavy: true,
+            run: Box::new(move || {
+                let mut study = hqnn_search::StudyResult::new(config_seq.clone());
+                for family in FAMILIES {
+                    study.run_family(family, &mut |_, _, _| {});
+                }
+                black_box(study);
+            }),
+        });
+        let config_sharded = study_config();
+        suite.push(Benchmark {
+            id: "search.study_sharded",
+            throughput_unit: "studies",
+            ops_per_iter: 1,
+            analytic_flops_per_iter: None,
+            heavy: true,
+            run: Box::new(move || {
+                let mut study = hqnn_search::StudyResult::new(config_sharded.clone());
+                black_box(study.run_study_sharded(&FAMILIES, &mut |_, _, _, _| {}));
+                black_box(study);
+            }),
+        });
+    }
+
     // -- telemetry.counter_hot / counter_hot_mutex: metric hot path -------
     // Four workers hammering one counter name — the contention shape of
     // `qsim.gate_applies` under the parallel runtime. The sharded path

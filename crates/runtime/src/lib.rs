@@ -21,9 +21,14 @@
 //!    scoped [`with_threads`] override on the calling thread, the
 //!    `HQNN_THREADS` environment variable, then the machine's available
 //!    parallelism. `threads() == 1` runs inline with zero scheduling.
-//! 3. **No nested fan-out.** Worker closures run with an implicit
-//!    `with_threads(1)`, so a parallel search wave doesn't multiply into a
-//!    parallel batch inside each combo. The outermost parallel seam wins.
+//! 3. **No unaccounted nested fan-out.** [`par_map`]/[`par_map_range`]
+//!    worker closures run with an implicit `with_threads(1)`, so a parallel
+//!    search wave doesn't multiply into a parallel batch inside each combo.
+//!    The one sanctioned nesting level is [`par_map_budgeted`]: it splits
+//!    the caller's budget across shards via [`split_budget`] so each
+//!    shard's *own* nested maps still fan out, with the invariant
+//!    `outer_workers × inner_budget ≤ threads()` — the budget stays a real
+//!    upper bound on concurrency even two levels deep.
 //!
 //! Telemetry integrates across the fan-out: workers inherit the spawning
 //! thread's open span path ([`hqnn_telemetry::propagate_span_path`]), so
@@ -49,7 +54,7 @@
 
 mod pool;
 
-pub use pool::{par_chunks_mut, par_map, par_map_range};
+pub use pool::{par_chunks_mut, par_map, par_map_budgeted, par_map_range, split_budget};
 
 use std::cell::Cell;
 use std::sync::OnceLock;

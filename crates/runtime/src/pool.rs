@@ -112,6 +112,89 @@ where
     out
 }
 
+/// Splits a total thread budget across `shards` concurrent work units,
+/// returning `(outer, inner)`: at most `outer` shards run concurrently and
+/// each runs with an inner budget of `inner` threads for its own nested
+/// parallel maps. The split never oversubscribes: `outer * inner <= total`
+/// (with both factors ≥ 1), `outer` never exceeds the shard count, and one
+/// shard inherits the whole budget — so a [`par_map_budgeted`] over a
+/// single item degenerates to the plain nested call.
+pub fn split_budget(total: usize, shards: usize) -> (usize, usize) {
+    let total = total.max(1);
+    if shards <= 1 {
+        return (1, total);
+    }
+    let outer = total.min(shards);
+    let inner = (total / outer).max(1);
+    (outer, inner)
+}
+
+/// Maps `f` over `0..len` like [`par_map_range`], but treats each item as a
+/// **shard** that may itself call parallel maps: instead of pinning workers
+/// to budget 1, the total budget is split by [`split_budget`] and each
+/// worker runs under `with_threads(inner)`, so a shard's nested
+/// `par_map_range` still fans out while total concurrency stays ≤ the
+/// caller's budget (`outer * inner <= threads()`).
+///
+/// Items are claimed one at a time from an atomic cursor (shards are few
+/// and uneven — e.g. hybrid levels cost more than classical ones — so
+/// dynamic item-granular scheduling matters more than chunk bookkeeping),
+/// and results are reassembled in index order: output is bitwise identical
+/// to the sequential loop at every budget, exactly like [`par_map_range`].
+/// The caller's span path and causal parent propagate into each shard keyed
+/// by its index, so shard telemetry is schedule-independent too.
+pub fn par_map_budgeted<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let total = crate::threads();
+    let (outer, inner) = split_budget(total, len);
+    let ctx = hqnn_telemetry::current_causal_context();
+    if outer <= 1 || len <= 1 {
+        // Inline: a lone shard (or a budget of 1) keeps the whole inner
+        // budget — with one shard that is the full caller budget.
+        return (0..len)
+            .map(|i| {
+                let _causal = hqnn_telemetry::propagate_causal_context(&ctx, i as u64);
+                crate::with_threads(inner, || f(i))
+            })
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..outer {
+            scope.spawn(|| {
+                // Inner budget instead of the flat pool's budget 1: this is
+                // the one sanctioned nesting level. The shard's own nested
+                // par_map workers still pin to 1, so depth stops at two.
+                crate::with_threads(inner, || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let _causal = hqnn_telemetry::propagate_causal_context(&ctx, i as u64);
+                    let item = f(i);
+                    done.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((i, item));
+                });
+                hqnn_telemetry::drain_local_metrics();
+            });
+        }
+    });
+
+    hqnn_telemetry::counter("runtime.par_calls", 1);
+    hqnn_telemetry::counter("runtime.par_items", len as u64);
+
+    let mut items = done.into_inner().unwrap_or_else(|e| e.into_inner());
+    items.sort_unstable_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(items.len(), len);
+    items.into_iter().map(|(_, item)| item).collect()
+}
+
 /// Runs `f` over disjoint consecutive chunks of `data` in parallel, in
 /// place — the mutable-slice counterpart of [`par_map_range`] that lets
 /// callers write results straight into a preallocated buffer instead of
@@ -335,6 +418,51 @@ mod tests {
                     if ci == 7 {
                         panic!("chunk 7 exploded");
                     }
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn budgeted_map_preserves_order_and_results() {
+        let want: Vec<usize> = (0..23).map(|i| i * 3).collect();
+        for threads in [1, 2, 5, 8, 33] {
+            let got = with_threads(threads, || par_map_budgeted(23, |i| i * 3));
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert_eq!(par_map_budgeted(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_budgeted(1, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn budgeted_map_f64_bitwise_identical_across_budgets() {
+        let work = |i: usize| {
+            let mut acc = 0.0f64;
+            for k in 1..=48 {
+                acc += ((i * k) as f64).cos() / (k as f64).sqrt();
+            }
+            acc
+        };
+        let seq: Vec<u64> = (0..37).map(|i| work(i).to_bits()).collect();
+        for threads in [2, 6, 16] {
+            let par: Vec<u64> = with_threads(threads, || par_map_budgeted(37, work))
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn budgeted_map_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_budgeted(8, |i| {
+                    if i == 5 {
+                        panic!("shard 5 exploded");
+                    }
+                    i
                 })
             })
         });

@@ -1,0 +1,108 @@
+//! Nested budget accounting: `par_map_budgeted` splits the caller's thread
+//! budget across shards so a shard's own parallel maps still fan out, and
+//! the total concurrency — outer shard workers × their inner budgets —
+//! never exceeds the global `HQNN_THREADS`/`with_threads` budget. This is
+//! the scheduling contract the sharded study runner is built on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use hqnn_runtime::{par_map_budgeted, par_map_range, split_budget, threads, with_threads};
+
+#[test]
+fn split_budget_never_exceeds_total() {
+    for total in 1..=32 {
+        for shards in 0..=40 {
+            let (outer, inner) = split_budget(total, shards);
+            assert!(outer >= 1, "total={total} shards={shards}");
+            assert!(inner >= 1, "total={total} shards={shards}");
+            assert!(
+                outer * inner <= total,
+                "oversubscribed: total={total} shards={shards} outer={outer} inner={inner}"
+            );
+            assert!(outer <= shards.max(1), "total={total} shards={shards}");
+        }
+    }
+    // Degenerate budgets saturate at 1×1.
+    assert_eq!(split_budget(0, 5), (1, 1));
+    // A lone shard inherits the whole budget.
+    assert_eq!(split_budget(8, 1), (1, 8));
+    // An even split uses every thread.
+    assert_eq!(split_budget(8, 4), (4, 2));
+    // More shards than threads: one thread each, claimed dynamically.
+    assert_eq!(split_budget(4, 33), (4, 1));
+}
+
+#[test]
+fn shards_observe_their_inner_budget() {
+    // 8 threads over 4 shards → each shard sees an inner budget of 2.
+    let inner = with_threads(8, || par_map_budgeted(4, |_| threads()));
+    assert_eq!(inner, vec![2; 4]);
+    // A single shard keeps the entire budget.
+    let solo = with_threads(8, || par_map_budgeted(1, |_| threads()));
+    assert_eq!(solo, vec![8]);
+    // Budget 1 runs shards inline at budget 1 — plain sequential nesting.
+    let seq = with_threads(1, || par_map_budgeted(3, |_| threads()));
+    assert_eq!(seq, vec![1; 3]);
+    // Leaf workers below a shard are still pinned to 1: depth stops at two.
+    let leaf = with_threads(8, || {
+        par_map_budgeted(4, |_| par_map_range(2, |_| threads()))
+    });
+    assert_eq!(leaf, vec![vec![1; 2]; 4]);
+}
+
+#[test]
+fn nested_fanout_concurrency_stays_within_global_budget() {
+    // Every leaf work item bumps a live counter around a short sleep; the
+    // observed peak is a lower bound on true concurrency, so asserting
+    // peak <= budget can only fail if the runtime oversubscribes.
+    const BUDGET: usize = 6;
+    let live = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    with_threads(BUDGET, || {
+        par_map_budgeted(3, |_| {
+            par_map_range(8, |_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+            });
+        });
+    });
+    let peak = peak.load(Ordering::SeqCst);
+    assert!(peak >= 1, "work actually ran");
+    assert!(
+        peak <= BUDGET,
+        "leaf concurrency {peak} exceeded the global budget {BUDGET}"
+    );
+    assert_eq!(live.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn budgeted_results_bitwise_identical_to_sequential_nesting() {
+    // Shards that themselves fan out: the composed result must match the
+    // fully sequential run bit for bit at every budget.
+    let shard = |s: usize| {
+        par_map_range(5, move |i| {
+            let mut acc = 0.0f64;
+            for k in 1..=32 {
+                acc += ((s * 31 + i * k) as f64).sin() / (k as f64).sqrt();
+            }
+            acc
+        })
+    };
+    let seq: Vec<Vec<u64>> = with_threads(1, || {
+        (0..7)
+            .map(|s| shard(s).into_iter().map(f64::to_bits).collect())
+            .collect()
+    });
+    for budget in [2, 4, 8, 13] {
+        let par: Vec<Vec<u64>> = with_threads(budget, || {
+            par_map_budgeted(7, shard)
+                .into_iter()
+                .map(|row| row.into_iter().map(f64::to_bits).collect())
+                .collect()
+        });
+        assert_eq!(par, seq, "budget={budget}");
+    }
+}

@@ -19,6 +19,7 @@ use std::path::Path;
 use hqnn_core::HybridSpec;
 use hqnn_flops::CostModel;
 use hqnn_qsim::{EntanglerKind, QnnTemplate};
+use hqnn_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::protocol::{search_level, ComboOutcome, LevelResult, SearchConfig};
@@ -46,6 +47,58 @@ impl Family {
             Family::HybridBel => "hybrid (BEL)",
             Family::HybridSel => "hybrid (SEL)",
         }
+    }
+
+    /// All three families in the order the paper's study runs them.
+    pub const ALL: [Family; 3] = [Family::Classical, Family::HybridBel, Family::HybridSel];
+
+    /// The search space of this family at one complexity level.
+    pub fn space(self, n_features: usize) -> Vec<hqnn_core::ModelSpec> {
+        match self {
+            Family::Classical => classical_space(n_features, N_CLASSES),
+            Family::HybridBel => hybrid_space(n_features, N_CLASSES, EntanglerKind::Basic),
+            Family::HybridSel => hybrid_space(n_features, N_CLASSES, EntanglerKind::Strong),
+        }
+    }
+}
+
+/// One independent (family × level) cell of a sharded study run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardCell {
+    /// The model family this shard searches.
+    pub family: Family,
+    /// The complexity level (feature count) it searches at.
+    pub n_features: usize,
+}
+
+/// The schedule a sharded study executed with: the ordered cell list plus
+/// the [`hqnn_runtime::split_budget`] factors that bounded its concurrency
+/// (`outer` concurrent shards × `inner` threads each ≤ the thread budget).
+/// Recorded into [`hqnn_telemetry::RunManifest::shard_plan`] via
+/// [`ShardPlan::descriptor`] so cached studies state how they were
+/// scheduled.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// Every (family, level) cell, in sequential replay order
+    /// (family-major, levels ascending within a family).
+    pub cells: Vec<ShardCell>,
+    /// Concurrent shard workers the run fanned out.
+    pub outer: usize,
+    /// Thread budget each shard's nested parallel maps ran under.
+    pub inner: usize,
+}
+
+impl ShardPlan {
+    /// Compact provenance string (`"cells=6;outer=4;inner=2"`) stamped into
+    /// run manifests. Sharding is bitwise neutral, so the plan qualifies
+    /// wall-clock claims only — see EXPERIMENTS.md.
+    pub fn descriptor(&self) -> String {
+        format!(
+            "cells={};outer={};inner={}",
+            self.cells.len(),
+            self.outer,
+            self.inner
+        )
     }
 }
 
@@ -132,11 +185,7 @@ impl StudyResult {
         let config = self.config.clone();
         let mut results = Vec::with_capacity(config.levels.len());
         for &n_features in &config.levels {
-            let space = match family {
-                Family::Classical => classical_space(n_features, N_CLASSES),
-                Family::HybridBel => hybrid_space(n_features, N_CLASSES, EntanglerKind::Basic),
-                Family::HybridSel => hybrid_space(n_features, N_CLASSES, EntanglerKind::Strong),
-            };
+            let space = family.space(n_features);
             let result = search_level(
                 &space,
                 n_features,
@@ -153,6 +202,104 @@ impl StudyResult {
         };
         *slot = results;
         slot
+    }
+
+    /// Runs the given families across every configured level as independent
+    /// (family × level) shards fanned out over
+    /// [`hqnn_runtime::par_map_budgeted`] — the study's outermost (and
+    /// longest) loop parallelised, while each shard's inner combo waves
+    /// still get threads through the nested budget split.
+    ///
+    /// **Bitwise-determinism guarantee**: every stored number is identical
+    /// to the sequential [`StudyResult::run_family`] loop at every thread
+    /// budget. Per-combo `(level, repetition, combo)` RNG salts make each
+    /// outcome independent of scheduling, `search_level`'s evaluated
+    /// list/winner are wave-size invariant, and shard results are
+    /// reassembled in cell order — so study JSON is byte-identical between
+    /// sequential and sharded execution (pinned by
+    /// `crates/search/tests/parallel_determinism.rs`).
+    ///
+    /// `progress` receives `(family, n_features, repetition, combo)` for
+    /// every retained evaluation. Shards buffer their callbacks and this
+    /// method replays them after the fan-out in sequential order
+    /// (family-major, levels ascending, FLOPs-ascending combos within a
+    /// level) — the exact sequence the sequential loop would have emitted.
+    ///
+    /// Returns the [`ShardPlan`] the run was scheduled with, for manifest
+    /// provenance.
+    pub fn run_study_sharded(
+        &mut self,
+        families: &[Family],
+        progress: &mut dyn FnMut(Family, usize, usize, &ComboOutcome),
+    ) -> ShardPlan {
+        let config = self.config.clone();
+        let cells: Vec<ShardCell> = families
+            .iter()
+            .flat_map(|&family| {
+                config.levels.iter().map(move |&n_features| ShardCell {
+                    family,
+                    n_features,
+                })
+            })
+            .collect();
+        let (outer, inner) = hqnn_runtime::split_budget(hqnn_runtime::threads(), cells.len());
+        let plan = ShardPlan {
+            cells,
+            outer,
+            inner,
+        };
+        let _study_span = telemetry::span("search.study");
+        telemetry::event(
+            telemetry::Level::Info,
+            "search.shard_plan",
+            &[
+                ("cells", plan.cells.len().into()),
+                ("families", families.len().into()),
+                ("levels", config.levels.len().into()),
+                ("outer", plan.outer.into()),
+                ("inner", plan.inner.into()),
+                ("plan", plan.descriptor().into()),
+            ],
+        );
+        // Fan the cells out. Each shard buffers its progress callbacks
+        // (retained combos only, cheap next to training) so they can be
+        // replayed in sequential order below.
+        let sharded: Vec<(LevelResult, Vec<(usize, ComboOutcome)>)> =
+            hqnn_runtime::par_map_budgeted(plan.cells.len(), |i| {
+                let cell = plan.cells[i];
+                let _shard_span = telemetry::span("search.shard");
+                let space = cell.family.space(cell.n_features);
+                let mut buffered: Vec<(usize, ComboOutcome)> = Vec::new();
+                let result = search_level(
+                    &space,
+                    cell.n_features,
+                    &config.search,
+                    &config.cost,
+                    &mut |rep, combo| buffered.push((rep, combo.clone())),
+                );
+                (result, buffered)
+            });
+        // Replay progress and store per-family results in cell order —
+        // exactly the order the sequential family loop produces.
+        let mut shards = sharded.into_iter();
+        for &family in families {
+            let mut results = Vec::with_capacity(config.levels.len());
+            for &n_features in &config.levels {
+                // lint:allow(panic): par_map_budgeted returns one entry per cell
+                let (result, buffered) = shards.next().expect("one shard per cell");
+                for (rep, combo) in &buffered {
+                    progress(family, n_features, *rep, combo);
+                }
+                results.push(result);
+            }
+            let slot = match family {
+                Family::Classical => &mut self.classical,
+                Family::HybridBel => &mut self.hybrid_bel,
+                Family::HybridSel => &mut self.hybrid_sel,
+            };
+            *slot = results;
+        }
+        plan
     }
 
     /// Runs the classical search (Fig. 6) quietly.
@@ -319,12 +466,25 @@ pub fn accuracy_frontier(
     outcomes
 }
 
-/// The Pareto-optimal subset of outcomes: no other outcome has both lower
-/// total FLOPs and strictly higher validation accuracy. Returned sorted by
-/// FLOPs ascending (accuracy is then non-decreasing along the front).
+/// The Pareto-optimal subset of outcomes under the dominance rule: outcome
+/// `a` dominates `b` iff `a.flops.total() <= b.flops.total()` and
+/// `a.avg_val_accuracy >= b.avg_val_accuracy` with at least one inequality
+/// strict. In particular, of two outcomes tied on total FLOPs only the
+/// higher-accuracy one can be on the front; outcomes tied on *both* axes
+/// are represented once, by the earliest in input order (the sort is
+/// stable). Returned sorted by FLOPs ascending with accuracy strictly
+/// increasing along the front.
 pub fn pareto_front(outcomes: &[ComboOutcome]) -> Vec<&ComboOutcome> {
     let mut sorted: Vec<&ComboOutcome> = outcomes.iter().collect();
-    sorted.sort_by_key(|o| o.flops.total());
+    // (FLOPs asc, accuracy desc): the best outcome of a FLOPs tie class is
+    // scanned first, so its lower-accuracy tie-mates are correctly rejected
+    // as dominated instead of sneaking onto the front ahead of it.
+    sorted.sort_by(|a, b| {
+        a.flops
+            .total()
+            .cmp(&b.flops.total())
+            .then_with(|| b.avg_val_accuracy.total_cmp(&a.avg_val_accuracy))
+    });
     let mut front: Vec<&ComboOutcome> = Vec::new();
     let mut best_acc = f64::NEG_INFINITY;
     for o in sorted {
@@ -449,6 +609,71 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sharded_study_matches_sequential_and_replays_progress_in_order() {
+        let config = ExperimentConfig::smoke();
+        let families = [Family::Classical, Family::HybridBel];
+        let mut seq = StudyResult::new(config.clone());
+        let mut seq_calls = Vec::new();
+        for family in families {
+            seq.run_family(family, &mut |n, rep, combo| {
+                seq_calls.push((family, n, rep, combo.spec.label()));
+            });
+        }
+        let mut sharded = StudyResult::new(config);
+        let mut shard_calls = Vec::new();
+        let plan = hqnn_runtime::with_threads(4, || {
+            sharded.run_study_sharded(&families, &mut |family, n, rep, combo| {
+                shard_calls.push((family, n, rep, combo.spec.label()));
+            })
+        });
+        assert_eq!(seq, sharded);
+        assert_eq!(seq_calls, shard_calls);
+        assert_eq!(
+            plan.cells.len(),
+            families.len() * sharded.config.levels.len()
+        );
+        assert!(plan.outer * plan.inner <= 4);
+        assert_eq!(plan.descriptor(), format!("cells={};outer={};inner={}", plan.cells.len(), plan.outer, plan.inner));
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_flops_ties() {
+        // Regression: two outcomes tied on total FLOPs, the lower-accuracy
+        // one listed first. The old FLOPs-only sort scanned it first and
+        // kept the dominated point on the front.
+        let spec = crate::space::classical_space(4, 3)[0].clone();
+        let outcome = |flops: u64, acc: f64| ComboOutcome {
+            spec: spec.clone(),
+            flops: hqnn_flops::FlopsBreakdown {
+                classical: flops,
+                encoding: 0,
+                quantum: 0,
+            },
+            param_count: 1,
+            runs: Vec::new(),
+            avg_train_accuracy: acc,
+            avg_val_accuracy: acc,
+            passed: false,
+        };
+        let outcomes = vec![
+            outcome(100, 0.50), // dominated by its 0.90 tie-mate
+            outcome(100, 0.90),
+            outcome(200, 0.70), // dominated outright
+            outcome(200, 0.95),
+            outcome(300, 0.95), // equal accuracy at higher cost: dominated
+        ];
+        let front = pareto_front(&outcomes);
+        let kept: Vec<(u64, f64)> = front
+            .iter()
+            .map(|o| (o.flops.total(), o.avg_val_accuracy))
+            .collect();
+        assert_eq!(kept, vec![(100, 0.90), (200, 0.95)]);
+        // Exact ties on both axes keep a single representative.
+        let dup = vec![outcome(100, 0.80), outcome(100, 0.80)];
+        assert_eq!(pareto_front(&dup).len(), 1);
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub mod protocol;
 pub mod report;
 pub mod space;
 
-pub use experiments::{ExperimentConfig, StudyResult, TableOneRow};
+pub use experiments::{ExperimentConfig, Family, ShardCell, ShardPlan, StudyResult, TableOneRow};
 pub use protocol::{ComboOutcome, LevelResult, RepetitionOutcome, RunSummary, SearchConfig};
 pub use space::{classical_space, combination_count, hybrid_space};

@@ -21,6 +21,17 @@ pub fn rate_of_increase(first: f64, last: f64) -> f64 {
     100.0 * (last - first) / first
 }
 
+/// Formats a [`rate_of_increase`] for the tables: `"+88.5%"` for finite
+/// rates, `"n/a"` when the rate is undefined (NaN/∞ from a zero or missing
+/// baseline) — matching the `—` convention for absent cells.
+fn fmt_rate(rate: f64) -> String {
+    if rate.is_finite() {
+        format!("{rate:+.1}%")
+    } else {
+        "n/a".to_string()
+    }
+}
+
 /// Renders one family's per-level winners — the content of one of the
 /// paper's Fig. 6/7/8 panels: per complexity level, each repetition's
 /// winning architecture with its FLOPs, plus the level mean.
@@ -163,9 +174,9 @@ pub fn comparative_table(study: &StudyResult) -> String {
             (Some((f0, p0)), Some((f1, p1))) => {
                 let _ = writeln!(
                     out,
-                    "  {name}: FLOPs {:+.1}%  params {:+.1}%",
-                    rate_of_increase(f0 as f64, f1 as f64),
-                    rate_of_increase(p0 as f64, p1 as f64),
+                    "  {name}: FLOPs {}  params {}",
+                    fmt_rate(rate_of_increase(f0 as f64, f1 as f64)),
+                    fmt_rate(rate_of_increase(p0 as f64, p1 as f64)),
                 );
             }
             _ => {
@@ -285,6 +296,43 @@ mod tests {
         let txt = comparative_table(&study);
         assert!(txt.contains("rate of increase"));
         assert!(txt.contains("classical"));
+    }
+
+    #[test]
+    fn comparative_table_renders_undefined_rate_as_na() {
+        // Regression: a zero-FLOPs baseline winner used to print
+        // "FLOPs NaN%". The rate is undefined there and must render "n/a".
+        use crate::protocol::{ComboOutcome, LevelResult, RepetitionOutcome};
+        let spec = crate::space::classical_space(4, 3)[0].clone();
+        let level = |n_features: usize, flops: u64, params: usize| LevelResult {
+            n_features,
+            repetitions: vec![RepetitionOutcome {
+                repetition: 0,
+                evaluated: vec![ComboOutcome {
+                    spec: spec.clone(),
+                    flops: hqnn_flops::FlopsBreakdown {
+                        classical: flops,
+                        encoding: 0,
+                        quantum: 0,
+                    },
+                    param_count: params,
+                    runs: Vec::new(),
+                    avg_train_accuracy: 1.0,
+                    avg_val_accuracy: 1.0,
+                    passed: true,
+                }],
+                winner: Some(0),
+            }],
+        };
+        let mut study = StudyResult::new(ExperimentConfig::smoke());
+        let (first, last) = (study.config.levels[0], *study.config.levels.last().unwrap());
+        study.classical = vec![level(first, 0, 5), level(last, 10, 5)];
+        let txt = comparative_table(&study);
+        assert!(
+            txt.contains("  classical : FLOPs n/a  params +0.0%"),
+            "golden line missing from:\n{txt}"
+        );
+        assert!(!txt.contains("NaN"), "NaN leaked into:\n{txt}");
     }
 
     #[test]

@@ -5,6 +5,9 @@ use hqnn_qsim::{EntanglerKind, QnnTemplate};
 
 /// The number of architectures with 1..=n layers and m width options per
 /// layer: `m·(mⁿ − 1)/(m − 1)` (the paper's §III-B formula; `n` for `m = 1`).
+/// Saturates at `usize::MAX` when the exact count overflows — deep spaces
+/// the GA arc will enumerate must degrade to "effectively unbounded", not
+/// panic in debug or silently wrap in release.
 ///
 /// # Example
 ///
@@ -13,6 +16,8 @@ use hqnn_qsim::{EntanglerKind, QnnTemplate};
 /// assert_eq!(hqnn_search::combination_count(2, 2), 6);
 /// // The paper's classical space: 5 widths, ≤ 3 layers → 155 combos.
 /// assert_eq!(hqnn_search::combination_count(5, 3), 155);
+/// // Past the overflow boundary the count saturates instead of wrapping.
+/// assert_eq!(hqnn_search::combination_count(2, 64), usize::MAX);
 /// ```
 pub fn combination_count(m: usize, n: usize) -> usize {
     if m == 0 || n == 0 {
@@ -21,7 +26,14 @@ pub fn combination_count(m: usize, n: usize) -> usize {
     if m == 1 {
         return n;
     }
-    m * (m.pow(n as u32) - 1) / (m - 1)
+    let Ok(exp) = u32::try_from(n) else {
+        return usize::MAX;
+    };
+    m.checked_pow(exp)
+        // mⁿ ≥ m ≥ 2 here, so the subtraction itself cannot underflow.
+        .and_then(|p| m.checked_mul(p - 1))
+        .map(|num| num / (m - 1))
+        .unwrap_or(usize::MAX)
 }
 
 /// The paper's neuron options for classical hidden layers.
@@ -104,6 +116,23 @@ mod tests {
         assert_eq!(combination_count(1, 4), 4);
         assert_eq!(combination_count(0, 3), 0);
         assert_eq!(combination_count(3, 0), 0);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn combination_count_saturates_at_the_overflow_boundary() {
+        // Largest powers of two that stay exact on 64-bit usize:
+        // 2·(2⁶² − 1) = 2⁶³ − 2 and 2·(2⁶³ − 1) = 2⁶⁴ − 2.
+        assert_eq!(combination_count(2, 62), (1usize << 63) - 2);
+        assert_eq!(combination_count(2, 63), usize::MAX - 1);
+        // 2⁶⁴ overflows the pow step → saturate.
+        assert_eq!(combination_count(2, 64), usize::MAX);
+        // 3⁴⁰ fits but 3·(3⁴⁰ − 1) overflows the mul step → saturate.
+        assert_eq!(combination_count(3, 40), usize::MAX);
+        // n beyond u32 saturates without panicking on the cast.
+        assert_eq!(combination_count(2, u32::MAX as usize + 1), usize::MAX);
+        // Unchanged exact values right below the boundary.
+        assert_eq!(combination_count(3, 39), 3 * (3usize.pow(39) - 1) / 2);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! under this study, and the gate-major sweep must not change a byte of it.
 
 use hqnn_qsim::{with_batch_layout, BatchLayout};
+use hqnn_search::experiments::Family;
 use hqnn_search::{ExperimentConfig, StudyResult};
 
 /// One smoke-scale study at the given thread budget and batch layout,
@@ -48,4 +49,44 @@ fn study_json_is_byte_identical_across_threads_and_layouts() {
     // Sanity: the study actually ran something.
     assert!(reference.contains("\"classical\""));
     assert!(reference.len() > 1_000);
+}
+
+/// The same smoke study as [`study_json`], but run through the sharded
+/// scheduler (`run_study_sharded`) instead of the sequential per-family
+/// loops.
+fn sharded_study_json(threads: usize, layout: BatchLayout) -> String {
+    with_batch_layout(layout, || {
+        hqnn_runtime::with_threads(threads, || {
+            let mut config = ExperimentConfig::smoke();
+            config.levels = vec![4];
+            let mut study = StudyResult::new(config);
+            study.run_study_sharded(&[Family::Classical, Family::HybridBel], &mut |_, _, _, _| {});
+            serde_json::to_string_pretty(&study).expect("serialize study")
+        })
+    })
+}
+
+#[test]
+fn sharded_study_json_is_byte_identical_to_sequential() {
+    // The sequential runner at one thread is the ground truth; the sharded
+    // scheduler must reproduce it byte for byte at every thread budget and
+    // batch layout. This is the acceptance gate for study-level sharding.
+    let reference = study_json(1, BatchLayout::Row);
+    for (threads, layout) in [
+        (1, BatchLayout::Row),
+        (8, BatchLayout::Row),
+        (1, BatchLayout::Gate),
+        (8, BatchLayout::Gate),
+    ] {
+        let sharded = sharded_study_json(threads, layout);
+        assert!(
+            reference == sharded,
+            "sharded study JSON diverged from the sequential reference at \
+             (threads={threads}, {layout:?})\nfirst differing byte at offset {:?}",
+            reference
+                .bytes()
+                .zip(sharded.bytes())
+                .position(|(a, b)| a != b)
+        );
+    }
 }

@@ -53,6 +53,14 @@ pub struct RunManifest {
     /// `alloc` too. Defaults to `false` when absent (pre-alloc manifests).
     #[serde(default)]
     pub alloc: bool,
+    /// Shard plan the run's study was scheduled with, as the compact
+    /// `"cells=N;outer=O;inner=I"` descriptor. `""` means the study ran
+    /// sequentially (or predates sharding). Sharding is bitwise neutral —
+    /// results stay comparable across plans — but the stamp qualifies
+    /// wall-clock numbers, which are only comparable between equal plans.
+    /// Defaults to `""` when absent (pre-sharding manifests).
+    #[serde(default)]
+    pub shard_plan: String,
     /// FNV-1a hash of the run's configuration JSON (`"-"` when not set).
     pub config_hash: String,
     /// Seconds since the Unix epoch at capture time.
@@ -82,6 +90,7 @@ impl RunManifest {
             fuse: configured_fuse(),
             batch: configured_batch(),
             alloc: configured_alloc(),
+            shard_plan: String::new(),
             config_hash: "-".to_string(),
             timestamp_unix: SystemTime::now()
                 .duration_since(UNIX_EPOCH)
@@ -94,6 +103,13 @@ impl RunManifest {
     /// runs are comparable only when their configs hash identically.
     pub fn with_config_hash<T: Serialize + ?Sized>(mut self, config: &T) -> Self {
         self.config_hash = config_hash(config);
+        self
+    }
+
+    /// Stamps the manifest with the shard plan descriptor the run's study
+    /// was scheduled with (see `ShardPlan::descriptor` in `hqnn-search`).
+    pub fn with_shard_plan(mut self, plan: &str) -> Self {
+        self.shard_plan = plan.to_string();
         self
     }
 
@@ -112,6 +128,7 @@ impl RunManifest {
             ("fuse", self.fuse.into()),
             ("batch", self.batch.clone().into()),
             ("alloc", self.alloc.into()),
+            ("shard_plan", self.shard_plan.clone().into()),
             ("config_hash", self.config_hash.clone().into()),
             ("timestamp_unix", self.timestamp_unix.into()),
         ]
@@ -254,6 +271,17 @@ mod tests {
         // always executed row-major; "" distinguishes them from an explicit
         // "row").
         assert_eq!(m.batch, "");
+        // Pre-sharding manifests default to "" — those studies ran
+        // sequentially.
+        assert_eq!(m.shard_plan, "");
+    }
+
+    #[test]
+    fn with_shard_plan_stamps_the_descriptor() {
+        let m = RunManifest::capture("s").with_shard_plan("cells=6;outer=3;inner=2");
+        assert_eq!(m.shard_plan, "cells=6;outer=3;inner=2");
+        let names: Vec<&str> = m.fields().iter().map(|(k, _)| *k).collect();
+        assert!(names.contains(&"shard_plan"));
     }
 
     #[test]
