@@ -3,7 +3,7 @@
 CARGO ?= cargo
 PROFILE_DIR ?= experiment-results
 
-.PHONY: build test repro profile smoke obs-smoke bench bench-check bench-smoke bench-baseline bench-trend lint fmt clippy clean
+.PHONY: build test repro profile smoke obs-smoke bench bench-check bench-smoke bench-baseline bench-trend lint sched-check fmt clippy clean
 
 build:
 	$(CARGO) build --release --workspace
@@ -74,6 +74,12 @@ lint:
 	$(CARGO) run -q -p hqnn-lint --bin hqnn-lint
 	$(CARGO) test -q -p hqnn-qsim --test circuit_verify
 	$(CARGO) clippy --workspace --all-targets -q -- -D warnings
+
+# Schedule-permutation model check: replay the parallel maps under >= 50
+# seeded adversarial interleavings and assert bitwise-identical outputs
+# plus budget/live-concurrency invariants (the CI hard gate, locally).
+sched-check:
+	HQNN_THREADS=4 $(CARGO) test -q -p hqnn-runtime --test schedule_permutation
 
 fmt:
 	$(CARGO) fmt --all

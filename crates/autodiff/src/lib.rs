@@ -223,9 +223,9 @@ impl Graph {
         let mut loss = 0.0;
         for r in 0..batch {
             let row = z.row(r);
-            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let max = hqnn_tensor::fold::ordered_max_f64(row.iter().copied());
             let exps: Vec<f64> = row.iter().map(|v| (v - max).exp()).collect();
-            let denom: f64 = exps.iter().sum();
+            let denom: f64 = hqnn_tensor::fold::ordered_sum_f64(exps.iter().copied());
             for (c, e) in exps.iter().enumerate() {
                 let p = e / denom;
                 softmax[(r, c)] = p;

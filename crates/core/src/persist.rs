@@ -123,7 +123,8 @@ impl SavedModel {
     /// Returns [`LoadWeightsError`] when the stored weight vector does not
     /// match the spec (e.g. a hand-edited file).
     pub fn restore(&self) -> Result<Sequential, LoadWeightsError> {
-        // Seed is irrelevant: every weight is overwritten.
+        // lint:allow(unsalted-rng): seed is irrelevant — every weight the
+        // builder draws is overwritten by the stored vector on the next line
         let mut model = self.spec.build(&mut SeededRng::new(0));
         load_weights(&mut model, &self.weights)?;
         Ok(model)

@@ -1,7 +1,7 @@
 //! `hqnn-lint` CLI: lints the workspace and exits non-zero on findings.
 //!
 //! Usage:
-//!   hqnn-lint [--root <dir>] [--json] [--list-rules]
+//!   hqnn-lint [--root <dir>] [--json] [--list-rules] [--explain <rule>]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +22,26 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--explain" => match args.next() {
+                Some(name) => {
+                    let Some(rule) = RULES.iter().find(|r| r.name == name) else {
+                        eprintln!("unknown rule `{name}`; try --list-rules");
+                        return ExitCode::from(2);
+                    };
+                    println!("{}", rule.name);
+                    println!("  flags: {}", rule.summary);
+                    println!("  why:   {}", rule.rationale);
+                    println!(
+                        "  escape: // lint:allow({}): <why this specific site is sound>",
+                        rule.name
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                None => {
+                    eprintln!("--explain requires a rule name (try --list-rules)");
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => {
                 for rule in RULES {
                     println!("{:<14} {}", rule.name, rule.summary);
@@ -34,6 +54,7 @@ fn main() -> ExitCode {
                 println!("  --root <dir>   workspace root (default: .)");
                 println!("  --json         machine-readable output");
                 println!("  --list-rules   print the rule table and exit");
+                println!("  --explain <rule>  describe one rule and its escape syntax");
                 return ExitCode::SUCCESS;
             }
             other => {

@@ -141,10 +141,17 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             report.files_scanned += 1;
         }
     }
-    report
-        .findings
-        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    sort_findings(&mut report.findings);
     Ok(report)
+}
+
+/// Canonical report order: (file, line, rule). The JSON artifact must diff
+/// cleanly across runners, so the order cannot depend on filesystem walk
+/// order or rule execution order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
 }
 
 /// Lints a single file as if it belonged to `crate_name` — used by the
@@ -190,7 +197,18 @@ pub fn load_registry(root: &Path) -> io::Result<Vec<String>> {
         .map(|t| t.text.clone())
         .collect();
     names.sort();
-    names.dedup();
+    // A duplicate entry is a registry bug, not noise: the did-you-mean
+    // suggestions would happily point at a shadowed copy while the real one
+    // drifts, so fail loudly instead of deduping in silence.
+    if let Some(dup) = names.windows(2).find(|w| w[0] == w[1]) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "registry file {REGISTRY_FILE} lists `{}` more than once; keep exactly one entry per variable",
+                dup[0]
+            ),
+        ));
+    }
     Ok(names)
 }
 
@@ -241,6 +259,60 @@ mod tests {
         assert!(json.contains("\"line\":7"));
         assert!(json.contains("\\\"quotes\\\""));
         assert!(json.ends_with("\"crates\":[\"qsim\"]}"));
+    }
+
+    #[test]
+    fn findings_sort_by_file_line_rule() {
+        let f = |file: &str, line: u32, rule: &'static str| Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: String::new(),
+        };
+        // Deliberately shuffled, including two rules on one line — the CI
+        // artifact order must be (file, line, rule), not walk order.
+        let mut findings = vec![
+            f("b.rs", 1, "panic"),
+            f("a.rs", 9, "wall-clock"),
+            f("a.rs", 9, "panic"),
+            f("a.rs", 2, "span-naming"),
+        ];
+        sort_findings(&mut findings);
+        let order: Vec<(&str, u32, &str)> = findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line, f.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 2, "span-naming"),
+                ("a.rs", 9, "panic"),
+                ("a.rs", 9, "wall-clock"),
+                ("b.rs", 1, "panic"),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_registry_entries_are_a_loud_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "hqnn_lint_dup_registry_{}_{}",
+            std::process::id(),
+            line!()
+        ));
+        let reg_dir = dir.join("crates/telemetry/src");
+        fs::create_dir_all(&reg_dir).expect("mkdir");
+        fs::write(
+            reg_dir.join("env.rs"),
+            "pub const A: &str = \"HQNN_LOG\";\npub const B: &str = \"HQNN_LOG\";\n",
+        )
+        .expect("write");
+        let err = load_registry(&dir).expect_err("duplicates must not load");
+        assert!(
+            err.to_string().contains("HQNN_LOG") && err.to_string().contains("more than once"),
+            "error should name the duplicate: {err}"
+        );
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

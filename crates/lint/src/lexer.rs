@@ -65,6 +65,12 @@ pub struct Allow {
     /// (blank lines and further comments in between are fine). `0` when the
     /// annotation governs nothing (e.g. trailing comment at EOF).
     pub applies_to: u32,
+    /// 1-based line the comment itself starts on — where `stale-allow`
+    /// findings about this annotation point.
+    pub line: u32,
+    /// `true` when the annotation is followed by `: <non-empty reason>`.
+    /// Reason-less escapes are flagged by the `stale-allow` audit.
+    pub has_reason: bool,
 }
 
 /// The lexed view of one source file.
@@ -402,6 +408,10 @@ fn is_char_literal(b: &[u8], i: usize) -> bool {
 }
 
 /// Extracts every `lint:allow(rule, rule2)` annotation from a comment.
+///
+/// Doc comments (`///`, `//!`, `/** */`, `/*! */`) are skipped: they are
+/// documentation *about* the escape syntax, not escapes — a suppression
+/// must live in a plain comment on (or directly above) the offending line.
 fn record_allows(
     comment: &str,
     line: u32,
@@ -409,6 +419,12 @@ fn record_allows(
     allows: &mut Vec<Allow>,
     pending: &mut Vec<usize>,
 ) {
+    if ["///", "//!", "/**", "/*!"]
+        .iter()
+        .any(|p| comment.starts_with(p))
+    {
+        return;
+    }
     let mut rest = comment;
     while let Some(pos) = rest.find("lint:allow(") {
         rest = &rest[pos + "lint:allow(".len()..];
@@ -422,10 +438,18 @@ fn record_allows(
         if rules.is_empty() {
             continue;
         }
+        // A reason is `: <text>` directly after the closing paren; the text
+        // must contain something other than whitespace and comment closers.
+        let has_reason = rest
+            .trim_start()
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim_end_matches("*/").trim().is_empty());
         let idx = allows.len();
         allows.push(Allow {
             rules,
             applies_to: if standalone { 0 } else { line },
+            line,
+            has_reason,
         });
         if standalone {
             pending.push(idx);
@@ -607,6 +631,39 @@ let b = y.unwrap();
         );
         assert!(!lexed.allowed("panic", 2));
         assert!(!lexed.allowed("other-rule", 1));
+    }
+
+    #[test]
+    fn allow_reasons_and_lines_are_recorded() {
+        let src = "\
+// lint:allow(panic): justified by the caller contract
+let a = x.unwrap();
+let b = y.unwrap(); // lint:allow(panic)
+/* lint:allow(wall-clock): block comment reason */ let t = 1;
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 3);
+        assert!(lexed.allows[0].has_reason);
+        assert_eq!((lexed.allows[0].line, lexed.allows[0].applies_to), (1, 2));
+        assert!(!lexed.allows[1].has_reason, "bare escape has no reason");
+        assert_eq!((lexed.allows[1].line, lexed.allows[1].applies_to), (3, 3));
+        assert!(lexed.allows[2].has_reason, "block comment reason counts");
+    }
+
+    #[test]
+    fn doc_comments_never_record_allows() {
+        let src = "\
+//! Write `// lint:allow(panic): why` to escape a finding.
+/// Escapes look like `lint:allow(wall-clock)`.
+/** Or `lint:allow(hash-iter)` in block docs. */
+fn f() {}
+";
+        let lexed = lex(src);
+        assert!(
+            lexed.allows.is_empty(),
+            "doc prose about the syntax is not an escape: {:?}",
+            lexed.allows
+        );
     }
 
     #[test]

@@ -6,13 +6,16 @@
 //! 1. **Determinism** — numeric crates (tensor, qsim, nn, search, autodiff)
 //!    must produce bitwise-identical results across runs and thread counts.
 //!    Unordered collections (`hash-iter`), wall-clock reads (`wall-clock`),
-//!    and thread-identity branching (`thread-id`) are banned there.
+//!    thread-identity branching (`thread-id`), ad-hoc float reductions
+//!    (`float-fold`), weak atomic orderings (`atomic-ordering`), and
+//!    unsalted RNG streams (`unsalted-rng`) are banned there.
 //! 2. **Panic hygiene** — library code surfaces errors as `Result`; every
 //!    deliberate panic carries a justification (`panic`).
 //! 3. **Hygiene audit** — every crate root forbids unsafe code
 //!    (`forbid-unsafe`), every `HQNN_*` env var is in the central registry
-//!    (`env-registry`), and telemetry names follow `crate.noun_verb`
-//!    (`span-naming`).
+//!    (`env-registry`), telemetry names follow `crate.noun_verb`
+//!    (`span-naming`), and every escape is live and justified
+//!    (`stale-allow`).
 //!
 //! Rules are **deny-by-default**: a violation fails the build unless the
 //! line carries an inline escape with a reason:
@@ -23,7 +26,9 @@
 //!
 //! The linter is deliberately dependency-free and token-based rather than
 //! AST-based: it must keep building (and gating CI) even when the rest of
-//! the workspace — or the toolchain's proc-macro pipeline — is broken.
+//! the workspace — or the toolchain's proc-macro pipeline — is broken. The
+//! flow-aware rules layer a small call-chain reader ([`parse`]) over the
+//! token stream instead of pulling in a parser.
 //!
 //! Run it with `cargo run -p hqnn-lint` (or `make lint`); pass `--json` for
 //! machine-readable output and `--list-rules` for the rule table.
@@ -32,8 +37,9 @@
 
 pub mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 pub use engine::{lint_file, lint_workspace, load_registry, Report};
 pub use lexer::{lex, Lexed, Tok, TokKind};
-pub use rules::{Finding, Rule, NUMERIC_CRATES, RULES, WALLCLOCK_CRATES};
+pub use rules::{Finding, Rule, ATOMIC_CRATES, NUMERIC_CRATES, RULES, WALLCLOCK_CRATES};

@@ -1,0 +1,10 @@
+// Fixture: the same double-violation line, with the escape naming both
+// rules — must pass.
+
+pub fn scoped() -> u64 {
+    let _t = std::time::Instant::now(); maybe().unwrap() // lint:allow(panic, wall-clock): fixture covers both rules on this line
+}
+
+fn maybe() -> Option<u64> {
+    None
+}

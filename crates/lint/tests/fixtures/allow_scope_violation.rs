@@ -1,0 +1,10 @@
+// Fixture: a single escape must not silence a different rule firing on the
+// same line — the panic escape below leaves the wall-clock hit standing.
+
+pub fn scoped() -> u64 {
+    let _t = std::time::Instant::now(); maybe().unwrap() // lint:allow(panic): scoping fixture — wall-clock must still fire
+}
+
+fn maybe() -> Option<u64> {
+    None
+}

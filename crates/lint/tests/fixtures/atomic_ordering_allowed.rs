@@ -1,0 +1,28 @@
+// Fixture: SeqCst everywhere plus one annotated hot-path load — must pass.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn set() {
+    FLAG.store(true, Ordering::SeqCst);
+}
+
+pub fn release_publish(x: &AtomicBool) {
+    x.store(true, Ordering::Release);
+}
+
+pub fn hot_check() -> bool {
+    // lint:allow(atomic-ordering): flag load on every batch; a stale read only delays enablement
+    FLAG.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_relax() {
+        FLAG.store(false, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: weak orderings outside runtime/alloc — must trigger.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    COUNT.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn exchange() -> usize {
+    COUNT.swap(7, Ordering::AcqRel)
+}

@@ -1,0 +1,33 @@
+// Fixture: ordered helpers, integer sums, container methods, and one
+// annotated escape — must pass.
+
+pub fn ordered(xs: &[f64]) -> f64 {
+    hqnn_tensor::fold::ordered_sum_f64(xs.iter().copied())
+}
+
+pub fn integer_turbofish(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}
+
+pub fn integer_evidence(counts: &[u64]) -> u64 {
+    let total: u64 = counts.iter().sum();
+    total
+}
+
+pub fn container_sum(m: &Matrix) -> f64 {
+    m.sum()
+}
+
+pub fn annotated(xs: &[f64]) -> f64 {
+    // lint:allow(float-fold): sequential-only path, grouping fixed by construction
+    xs.iter().sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_sum_freely() {
+        let s: f64 = [1.0, 2.0].iter().sum();
+        assert!(s > 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: ad-hoc float reductions — each must trigger float-fold.
+
+pub fn turbofish_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn bare_float_sum(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().map(|x| x * x).sum();
+    total
+}
+
+pub fn ambiguous_sum(xs: &[Opaque]) -> Opaque {
+    xs.iter().map(|x| x.weight()).sum()
+}
+
+pub fn float_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x)
+}
+
+pub fn float_max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}

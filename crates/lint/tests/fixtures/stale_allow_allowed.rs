@@ -1,0 +1,13 @@
+// Fixture: live escapes with reasons, plus one deliberately-kept dead
+// escape annotated with its own stale-allow justification — must pass.
+
+pub fn live_escape(v: Option<u32>) -> u32 {
+    // lint:allow(panic): fixture invariant — caller always passes Some
+    v.unwrap()
+}
+
+pub fn migration_in_flight() -> u32 {
+    // lint:allow(stale-allow): escape below goes live again when feature X lands next PR
+    // lint:allow(hash-iter): probe-only map returns with feature X
+    3
+}

@@ -1,0 +1,15 @@
+// Fixture: dead and malformed escapes — each must trigger stale-allow.
+
+pub fn refactored_away() -> u32 {
+    // lint:allow(panic): the unwrap this covered was removed last PR
+    0
+}
+
+// lint:allow(not-a-rule): name drifted from the rule table
+pub fn unknown_rule() -> u32 {
+    1
+}
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    v.unwrap_or(2) // lint:allow(hash-iter)
+}

@@ -1,0 +1,13 @@
+// Fixture: literal seeds and entropy draws — must trigger unsalted-rng.
+
+pub fn hard_coded() -> SeededRng {
+    SeededRng::new(42)
+}
+
+pub fn entropy() -> SeededRng {
+    SeededRng::from_entropy()
+}
+
+pub fn os_entropy() -> u64 {
+    thread_rng()
+}

@@ -25,6 +25,10 @@ fn fixture_ctx(rule: &str) -> (&'static str, bool, bool) {
         "forbid-unsafe" => ("qsim", false, true),
         "env-registry" => ("runtime", false, false),
         "span-naming" => ("nn", false, false),
+        "float-fold" => ("qsim", false, false),
+        "atomic-ordering" => ("nn", false, false),
+        "unsalted-rng" => ("search", false, false),
+        "stale-allow" => ("qsim", false, false),
         other => panic!("no fixture context for rule {other}"),
     }
 }
@@ -35,6 +39,7 @@ fn registry() -> Vec<String> {
         "HQNN_THREADS".to_string(),
         "HQNN_FUSE".to_string(),
         "HQNN_BATCH".to_string(),
+        "HQNN_HEALTH".to_string(),
         "HQNN_ALLOC".to_string(),
     ]
 }
@@ -82,13 +87,49 @@ fn every_allowed_fixture_passes() {
         let (crate_name, is_bin, is_root) = fixture_ctx(rule.name);
         let findings = lint_file(&path, crate_name, is_bin, is_root, &reg)
             .unwrap_or_else(|e| panic!("lint {}: {e}", path.display()));
-        let residual: Vec<_> = findings.iter().filter(|f| f.rule == rule.name).collect();
+        let residual: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == rule.name || f.rule == "stale-allow")
+            .collect();
         assert!(
             residual.is_empty(),
             "annotated fixture for `{}` still produced findings: {residual:?}",
             rule.name
         );
     }
+}
+
+#[test]
+fn allow_escapes_are_scoped_to_the_named_rule() {
+    // One line, two violations of different rules: an escape naming only
+    // `panic` must leave the wall-clock finding standing…
+    let reg = registry();
+    let path = fixtures_dir().join("allow_scope_violation.rs");
+    let findings = lint_file(&path, "nn", false, false, &reg).expect("lint");
+    assert!(
+        !findings.iter().any(|f| f.rule == "panic"),
+        "named rule should be suppressed: {findings:?}"
+    );
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == "wall-clock")
+            .count(),
+        1,
+        "unnamed rule must still fire: {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|f| f.rule == "stale-allow"),
+        "the panic escape is live, not stale: {findings:?}"
+    );
+
+    // …and naming both rules silences the whole line.
+    let path = fixtures_dir().join("allow_scope_allowed.rs");
+    let findings = lint_file(&path, "nn", false, false, &reg).expect("lint");
+    assert!(
+        findings.is_empty(),
+        "dual-rule escape should clear the line: {findings:?}"
+    );
 }
 
 #[test]

@@ -45,7 +45,7 @@ fn decode(v: u8) -> HealthAction {
 /// The active sentinel action: `HQNN_HEALTH` on first read, `Warn` when
 /// unset or invalid (an invalid value warns loudly via `env.bad_value`).
 pub fn action() -> HealthAction {
-    let raw = ACTION.load(Ordering::Relaxed);
+    let raw = ACTION.load(Ordering::SeqCst);
     if raw != UNSET {
         return decode(raw);
     }
@@ -64,13 +64,13 @@ pub fn action() -> HealthAction {
             HealthAction::Warn
         }),
     };
-    ACTION.store(encode(resolved), Ordering::Relaxed);
+    ACTION.store(encode(resolved), Ordering::SeqCst);
     resolved
 }
 
 /// Overrides the sentinel action (wins over `HQNN_HEALTH`; tests mostly).
 pub fn set_action(action: HealthAction) {
-    ACTION.store(encode(action), Ordering::Relaxed);
+    ACTION.store(encode(action), Ordering::SeqCst);
 }
 
 /// True when the sentinels should run at all.

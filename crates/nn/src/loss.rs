@@ -16,9 +16,9 @@ use hqnn_tensor::Matrix;
 pub fn softmax(logits: &Matrix) -> Matrix {
     let row_of = |r: usize| -> Vec<f64> {
         let row = logits.row(r);
-        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = hqnn_tensor::fold::ordered_max_f64(row.iter().copied());
         let exps: Vec<f64> = row.iter().map(|v| (v - max).exp()).collect();
-        let denom: f64 = exps.iter().sum();
+        let denom: f64 = hqnn_tensor::fold::ordered_sum_f64(exps.iter().copied());
         exps.iter().map(|e| e / denom).collect()
     };
     // Rows are independent; big batches fan out across the runtime (the
@@ -80,9 +80,9 @@ pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
     let correct: u64 = if logits.len() >= PAR_ROWS_MIN_ELEMS {
         hqnn_runtime::par_map_range(labels.len(), hit)
             .into_iter()
-            .sum()
+            .sum::<u64>()
     } else {
-        (0..labels.len()).map(hit).sum()
+        (0..labels.len()).map(hit).sum::<u64>()
     };
     correct as f64 / labels.len() as f64
 }
@@ -127,7 +127,7 @@ impl SoftmaxCrossEntropy {
         } else {
             (0..logits.rows()).map(row_loss).collect()
         };
-        let loss = -partials.iter().fold(0.0, |acc, p| acc + p);
+        let loss = -hqnn_tensor::fold::ordered_sum_f64(partials.iter().copied());
         let grad = (&probs - targets).scale(1.0 / batch);
         (loss / batch, grad)
     }

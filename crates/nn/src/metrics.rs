@@ -141,7 +141,8 @@ impl ConfusionMatrix {
         if self.n_classes == 0 {
             return 0.0;
         }
-        (0..self.n_classes).map(|k| self.f1(k)).sum::<f64>() / self.n_classes as f64
+        hqnn_tensor::fold::ordered_sum_f64((0..self.n_classes).map(|k| self.f1(k)))
+            / self.n_classes as f64
     }
 }
 

@@ -128,14 +128,14 @@ impl DensityMatrix {
 
     /// `Tr ρ` — exactly 1 for any physical state.
     pub fn trace(&self) -> C64 {
-        (0..self.dim).fold(C64::ZERO, |acc, i| acc + self.elems[i * self.dim + i])
+        hqnn_tensor::fold::ordered_sum(C64::ZERO, (0..self.dim).map(|i| self.elems[i * self.dim + i]))
     }
 
     /// Purity `Tr ρ²` — 1 for pure states, `1/2ⁿ` for the maximally mixed
     /// state.
     pub fn purity(&self) -> f64 {
         // Tr ρ² = Σ_{rc} ρ_{rc} ρ_{cr} = Σ_{rc} |ρ_{rc}|² for Hermitian ρ.
-        self.elems.iter().map(|e| e.norm_sqr()).sum()
+        hqnn_tensor::fold::ordered_sum_f64(self.elems.iter().map(|e| e.norm_sqr()))
     }
 
     /// Probability of measuring basis state `index`.
@@ -176,12 +176,10 @@ impl DensityMatrix {
     pub fn expectation_z(&self, wire: usize) -> f64 {
         assert!(wire < self.n_qubits, "wire {wire} out of range");
         let mask = 1usize << wire;
-        (0..self.dim)
-            .map(|i| {
-                let sign = if i & mask == 0 { 1.0 } else { -1.0 };
-                sign * self.elems[i * self.dim + i].re
-            })
-            .sum()
+        hqnn_tensor::fold::ordered_sum_f64((0..self.dim).map(|i| {
+            let sign = if i & mask == 0 { 1.0 } else { -1.0 };
+            sign * self.elems[i * self.dim + i].re
+        }))
     }
 
     /// Applies `M` (2×2) to the row index on `target` — `ρ → (M ⊗ I) ρ`.

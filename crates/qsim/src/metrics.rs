@@ -100,10 +100,9 @@ fn random_state(template: &QnnTemplate, rng: &mut SeededRng) -> StateVector {
 /// Panics if `samples == 0`.
 pub fn entangling_capability(template: &QnnTemplate, samples: usize, rng: &mut SeededRng) -> f64 {
     assert!(samples > 0, "need at least one sample");
-    (0..samples)
-        .map(|_| meyer_wallach(&random_state(template, rng)))
-        .sum::<f64>()
-        / samples as f64
+    hqnn_tensor::fold::ordered_sum_f64(
+        (0..samples).map(|_| meyer_wallach(&random_state(template, rng))),
+    ) / samples as f64
 }
 
 /// Expressibility à la Sim et al.: the KL divergence

@@ -138,10 +138,10 @@ impl Observable {
             crate::state::apply_single_amps(&mut applied, &p.gate().matrix(0.0), wire);
         }
         // Same fold as `StateVector::inner` so the FP sequence matches.
-        let e: C64 = amps
-            .iter()
-            .zip(&applied)
-            .fold(C64::ZERO, |acc, (a, b)| acc + a.conj() * *b);
+        let e: C64 = hqnn_tensor::fold::ordered_sum(
+            C64::ZERO,
+            amps.iter().zip(&applied).map(|(a, b)| a.conj() * *b),
+        );
         debug_assert!(e.im.abs() < 1e-9, "expectation should be real, got {e}");
         e.re
     }

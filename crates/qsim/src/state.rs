@@ -184,13 +184,10 @@ pub(crate) fn apply_pair_amps(amps: &mut [C64], m: &Matrix4, low: usize, high: u
 /// Expectation value `⟨ψ|Z_wire|ψ⟩` over one row's amplitudes.
 pub(crate) fn expectation_z_amps(amps: &[C64], wire: usize) -> f64 {
     let mask = 1usize << wire;
-    amps.iter()
-        .enumerate()
-        .map(|(i, a)| {
-            let sign = if i & mask == 0 { 1.0 } else { -1.0 };
-            sign * a.norm_sqr()
-        })
-        .sum()
+    hqnn_tensor::fold::ordered_sum_f64(amps.iter().enumerate().map(|(i, a)| {
+        let sign = if i & mask == 0 { 1.0 } else { -1.0 };
+        sign * a.norm_sqr()
+    }))
 }
 
 /// A pure quantum state over `n` qubits, stored as 2ⁿ complex amplitudes in
@@ -245,7 +242,7 @@ impl StateVector {
         );
         let n_qubits = len.trailing_zeros() as usize;
         assert!(n_qubits <= MAX_QUBITS, "too many qubits");
-        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        let norm: f64 = hqnn_tensor::fold::ordered_sum_f64(amps.iter().map(|a| a.norm_sqr()));
         assert!(
             (norm - 1.0).abs() < 1e-9,
             "state is not normalised: |ψ|² = {norm}"
@@ -289,15 +286,15 @@ impl StateVector {
     /// Panics if the qubit counts differ.
     pub fn inner(&self, other: &Self) -> C64 {
         assert_eq!(self.n_qubits, other.n_qubits, "qubit count mismatch");
-        self.amps
-            .iter()
-            .zip(&other.amps)
-            .fold(C64::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+        hqnn_tensor::fold::ordered_sum(
+            C64::ZERO,
+            self.amps.iter().zip(&other.amps).map(|(a, b)| a.conj() * *b),
+        )
     }
 
     /// `|ψ|²` — should be 1 for any state produced by unitary evolution.
     pub fn norm_sqr(&self) -> f64 {
-        self.amps.iter().map(|a| a.norm_sqr()).sum()
+        hqnn_tensor::fold::ordered_sum_f64(self.amps.iter().map(|a| a.norm_sqr()))
     }
 
     /// Probability of measuring computational basis state `index`.

@@ -52,6 +52,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod check;
 mod pool;
 
 pub use pool::{par_chunks_mut, par_map, par_map_budgeted, par_map_range, split_budget};

@@ -166,7 +166,10 @@ impl LevelResult {
         if winners.is_empty() {
             return None;
         }
-        Some(winners.iter().map(|w| w.flops.total() as f64).sum::<f64>() / winners.len() as f64)
+        Some(
+            hqnn_tensor::fold::ordered_sum_f64(winners.iter().map(|w| w.flops.total() as f64))
+                / winners.len() as f64,
+        )
     }
 
     /// Mean parameter count of the winners.
@@ -175,7 +178,10 @@ impl LevelResult {
         if winners.is_empty() {
             return None;
         }
-        Some(winners.iter().map(|w| w.param_count as f64).sum::<f64>() / winners.len() as f64)
+        Some(
+            hqnn_tensor::fold::ordered_sum_f64(winners.iter().map(|w| w.param_count as f64))
+                / winners.len() as f64,
+        )
     }
 
     /// The smallest (fewest-FLOPs) winner across repetitions — the model the
@@ -267,8 +273,10 @@ pub fn evaluate_combo(
             val_accuracy: report.best_val_accuracy,
         });
     }
-    let avg_train = runs.iter().map(|r| r.train_accuracy).sum::<f64>() / runs.len().max(1) as f64;
-    let avg_val = runs.iter().map(|r| r.val_accuracy).sum::<f64>() / runs.len().max(1) as f64;
+    let avg_train = hqnn_tensor::fold::ordered_sum_f64(runs.iter().map(|r| r.train_accuracy))
+        / runs.len().max(1) as f64;
+    let avg_val = hqnn_tensor::fold::ordered_sum_f64(runs.iter().map(|r| r.val_accuracy))
+        / runs.len().max(1) as f64;
     ComboOutcome {
         flops: spec.flops(cost),
         param_count: spec.param_count(),

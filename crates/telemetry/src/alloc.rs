@@ -82,7 +82,7 @@ pub fn measure<R>(f: impl FnOnce() -> R) -> (R, Option<AllocDelta>) {
 /// the env var only sets the starting state.
 pub(crate) fn init_from_env() {
     static READ: AtomicBool = AtomicBool::new(false);
-    if READ.swap(true, Ordering::Relaxed) {
+    if READ.swap(true, Ordering::SeqCst) {
         return;
     }
     if let Some(raw) = crate::env::var("HQNN_ALLOC") {

@@ -207,7 +207,7 @@ pub fn warn_unknown_vars() {
     // emitting the events (event → init → var("HQNN_LOG") → here) returns
     // immediately instead of deadlocking on its own initialisation.
     static SCANNED: AtomicBool = AtomicBool::new(false);
-    if SCANNED.swap(true, Ordering::Relaxed) {
+    if SCANNED.swap(true, Ordering::SeqCst) {
         return;
     }
     let mut unknown: Vec<String> = std::env::vars_os()
@@ -279,6 +279,19 @@ mod tests {
         assert!(is_registered("HQNN_BATCH"));
         assert!(!is_registered("HQNN_THREAD"));
         assert!(REGISTRY.iter().all(|v| v.name.starts_with("HQNN_")));
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        // hqnn-lint's `load_registry` refuses duplicate entries outright (a
+        // shadowed copy would let the did-you-mean hint point at a stale
+        // declaration); this guards the real registry against ever
+        // tripping that error.
+        let mut names: Vec<&str> = REGISTRY.iter().map(|v| v.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "REGISTRY lists a name twice");
     }
 
     #[test]

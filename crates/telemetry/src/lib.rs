@@ -89,7 +89,7 @@ fn sinks() -> &'static Mutex<Vec<Box<dyn Sink>>> {
 /// Initialises the global level from `HQNN_LOG` if not yet set. Called
 /// lazily by every emission path; harmless to call again.
 pub fn init() {
-    if LEVEL.load(Ordering::Relaxed) == u8::MAX {
+    if LEVEL.load(Ordering::SeqCst) == u8::MAX {
         let raw = std::env::var("HQNN_LOG").ok();
         apply_env_level(raw.as_deref());
         // With the level established, surface any HQNN_* typos exactly once.
@@ -104,15 +104,15 @@ pub fn init() {
 /// bad value and the accepted spellings instead of silently muting the run.
 fn apply_env_level(raw: Option<&str>) {
     match raw.map(str::parse::<Level>) {
-        None => LEVEL.store(Level::Error as u8, Ordering::Relaxed),
-        Some(Ok(level)) => LEVEL.store(level as u8, Ordering::Relaxed),
+        None => LEVEL.store(Level::Error as u8, Ordering::SeqCst),
+        Some(Ok(level)) => LEVEL.store(level as u8, Ordering::SeqCst),
         Some(Err(err)) => {
             // Store before emitting: `event` re-enters `init`, which must
             // see an initialised level.
-            LEVEL.store(Level::Error as u8, Ordering::Relaxed);
+            LEVEL.store(Level::Error as u8, Ordering::SeqCst);
             static WARNED: std::sync::atomic::AtomicBool =
                 std::sync::atomic::AtomicBool::new(false);
-            if !WARNED.swap(true, Ordering::Relaxed) {
+            if !WARNED.swap(true, Ordering::SeqCst) {
                 event(
                     Level::Error,
                     "telemetry.bad_log_level",
@@ -128,13 +128,13 @@ fn apply_env_level(raw: Option<&str>) {
 
 /// Overrides the log level (wins over `HQNN_LOG`).
 pub fn set_level(level: Level) {
-    LEVEL.store(level as u8, Ordering::Relaxed);
+    LEVEL.store(level as u8, Ordering::SeqCst);
 }
 
 /// The currently active log level.
 pub fn level() -> Level {
     init();
-    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+    Level::from_u8(LEVEL.load(Ordering::SeqCst))
 }
 
 /// True when events at `level` would reach the sinks.
@@ -350,7 +350,7 @@ pub fn reset() {
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     sinks.clear();
     sinks.push(Box::new(sink::StderrSink));
-    LEVEL.store(u8::MAX, Ordering::Relaxed);
+    LEVEL.store(u8::MAX, Ordering::SeqCst);
     init();
 }
 

@@ -51,7 +51,7 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::SeqCst);
 }
 
 fn buffer() -> &'static Mutex<TraceBuf> {
@@ -61,16 +61,18 @@ fn buffer() -> &'static Mutex<TraceBuf> {
 
 /// Starts recording span begin/end events.
 pub fn enable() {
-    ENABLED.store(true, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::SeqCst);
 }
 
 /// Stops recording (the buffer is kept until [`clear`]).
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    ENABLED.store(false, Ordering::SeqCst);
 }
 
 /// Whether trace recording is active.
 pub fn is_enabled() -> bool {
+    // lint:allow(atomic-ordering): hot-path flag check on every span; a stale
+    // read only delays when tracing kicks in, never reorders recorded data
     ENABLED.load(Ordering::Relaxed)
 }
 

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fold;
 pub mod matrix;
 pub mod rng;
 

@@ -384,9 +384,9 @@ impl Matrix {
         out
     }
 
-    /// Sum of all entries.
+    /// Sum of all entries (strict left-to-right fold in storage order).
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        crate::fold::ordered_sum_f64(self.data.iter().copied())
     }
 
     /// Mean of all entries; `0.0` for an empty matrix.
@@ -400,17 +400,17 @@ impl Matrix {
 
     /// Maximum entry; `f64::NEG_INFINITY` for an empty matrix.
     pub fn max(&self) -> f64 {
-        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        crate::fold::ordered_max_f64(self.data.iter().copied())
     }
 
     /// Minimum entry; `f64::INFINITY` for an empty matrix.
     pub fn min(&self) -> f64 {
-        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+        crate::fold::ordered_min_f64(self.data.iter().copied())
     }
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        crate::fold::ordered_sum_f64(self.data.iter().map(|v| v * v)).sqrt()
     }
 
     /// Index of the maximum entry in each row (`argmax` over columns),
